@@ -1,0 +1,19 @@
+"""Shared configuration for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's figures/tables and prints
+the same rows/series the paper reports.  pytest-benchmark measures the
+wall time of one full regeneration (`rounds=1`), since the interesting
+output is the table itself rather than microsecond timings.
+"""
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark one full execution and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

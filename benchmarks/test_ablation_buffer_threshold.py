@@ -1,0 +1,32 @@
+"""Ablation: PANR's buffer-occupancy threshold B (Section 5.1).
+
+The paper set B to 50 % "after analyzing the effects of different
+occupancy levels on router throughput, with a cycle-accurate NoC
+simulator"; this bench is that analysis on our cycle-level simulator.
+Expected shape: the mid-range threshold is competitive on both latency
+and throughput (neither extreme dominates it).
+"""
+
+from repro.exp import ablations
+
+
+def test_buffer_threshold_sweep(benchmark, once):
+    rows = once(benchmark, ablations.buffer_threshold_sweep)
+    ablations.print_buffer_threshold(rows)
+
+    by_b = {r.threshold: r for r in rows}
+    mid = by_b[0.5]
+    assert mid.throughput_flits_per_cycle > 0
+    # Congestion-only routing (tiny B) ploughs through the noisy region
+    # and pays in latency; the paper's 0.5 avoids both failure modes.
+    assert by_b[0.1].noisy_traffic_flits_per_cycle > (
+        1.5 * mid.noisy_traffic_flits_per_cycle
+    )
+    assert by_b[0.1].avg_latency_cycles > mid.avg_latency_cycles
+    for b, row in by_b.items():
+        dominated = (
+            row.avg_latency_cycles < mid.avg_latency_cycles * 0.98
+            and row.noisy_traffic_flits_per_cycle
+            < mid.noisy_traffic_flits_per_cycle * 0.95
+        )
+        assert not dominated, f"B={b} strictly dominates the paper's 0.5"

@@ -1,0 +1,22 @@
+"""Ablation: the DoP cap at 32 (Section 5.1).
+
+The paper limits DoP to 32 "beyond which most of the applications were
+observed to have lower performance due to communication
+(synchronization) overheads".  This bench sweeps WCET versus thread
+count past the cap.  Expected shape: strong gains up to ~16-24 threads,
+flattening near 32, marginal or negative beyond.
+"""
+
+from repro.exp import ablations
+
+
+def test_dop_sweep(benchmark, once):
+    rows = once(benchmark, ablations.dop_sweep)
+    ablations.print_dop_sweep(rows)
+
+    by_dop = {r.dop: r.wcet_s for r in rows}
+    assert by_dop[16] < by_dop[4]
+    assert by_dop[32] < by_dop[16]
+    gain_to_32 = by_dop[16] - by_dop[32]
+    gain_past_32 = by_dop[32] - by_dop[64]
+    assert gain_past_32 < 0.5 * gain_to_32

@@ -1,0 +1,24 @@
+"""Ablation: what each PARM ingredient contributes.
+
+Compares full PARM against two crippled variants on a mixed workload
+(PANR routing, loose deadlines so every variant maps everything):
+
+* ``PARM-noact`` - clustering ignores activity bins (communication
+  order only);
+* ``PARM-novdd`` - no DVS adaptation (nominal Vdd, DoP still adaptive).
+
+Expected shape: Vdd adaptation is the dominant PSN lever; activity-aware
+clustering trims the remaining interference.
+"""
+
+from repro.exp import ablations
+
+
+def test_parm_component_ablation(benchmark, once):
+    rows = once(benchmark, ablations.parm_component_ablation)
+    ablations.print_parm_ablation(rows)
+
+    by = {r.variant: r for r in rows}
+    assert by["PARM-novdd"].peak_psn_pct > 1.3 * by["PARM"].peak_psn_pct
+    assert by["PARM-novdd"].ve_count >= by["PARM"].ve_count
+    assert by["PARM-noact"].avg_psn_pct >= 0.95 * by["PARM"].avg_psn_pct

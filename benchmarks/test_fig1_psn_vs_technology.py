@@ -1,0 +1,21 @@
+"""Fig. 1: peak supply noise across fabrication process nodes.
+
+Regenerates the paper's motivation figure with the MNA transient solver:
+peak PSN (percent of the near-threshold supply) for a fully occupied
+mixed-activity domain, per technology node from 45 nm down to 7 nm.
+Expected shape: monotone growth with scaling, crossing the 5 % voltage
+emergency margin at the newest nodes.
+"""
+
+from repro.exp import figures
+
+
+def test_fig1(benchmark, once):
+    rows = once(benchmark, figures.fig1)
+    figures.print_fig1(rows)
+
+    peaks = [r.peak_psn_pct for r in rows]
+    assert peaks == sorted(peaks), "PSN must grow with technology scaling"
+    assert rows[-1].node == "7nm"
+    assert rows[-1].peak_psn_pct > 5.0, "7nm must exceed the VE margin"
+    assert rows[0].peak_psn_pct < 2.5, "45nm must be comfortably below it"

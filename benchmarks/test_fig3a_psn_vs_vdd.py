@@ -1,0 +1,22 @@
+"""Fig. 3a: peak PSN in a domain versus supply voltage.
+
+Regenerates the characterisation behind PARM's Vdd selection: peak PSN
+(percent of Vdd) of a fully occupied domain at every DVS step, for a
+communication-intensive and a compute-intensive workload.  Expected
+shape: PSN proportional to Vdd for both kinds, communication above
+compute.
+"""
+
+from repro.exp import figures
+
+
+def test_fig3a(benchmark, once):
+    rows = once(benchmark, figures.fig3a)
+    figures.print_fig3a(rows)
+
+    for kind in ("compute", "communication"):
+        peaks = [r.peak_psn_pct for r in rows if r.kind == kind]
+        assert peaks == sorted(peaks), f"{kind}: PSN must grow with Vdd"
+    comm = {r.vdd: r.peak_psn_pct for r in rows if r.kind == "communication"}
+    comp = {r.vdd: r.peak_psn_pct for r in rows if r.kind == "compute"}
+    assert all(comm[v] > comp[v] for v in comm)

@@ -1,0 +1,22 @@
+"""Fig. 3b: normalised interference between task pairs.
+
+Regenerates the proximity characterisation behind PARM's clustering:
+interference PSN for High/Low activity pairs at 1-hop and 2-hop
+Manhattan separation, normalised to the High-Low 1-hop pair.  Expected
+shape (the paper's two observations): H-L pairs interfere up to ~35 %
+more than H-H/L-L pairs, and 2-hop separation interferes ~10 % less
+than 1-hop.
+"""
+
+from repro.exp import figures
+
+
+def test_fig3b(benchmark, once):
+    rows = once(benchmark, figures.fig3b)
+    figures.print_fig3b(rows)
+
+    by = {(r.pair, r.hops): r.normalised for r in rows}
+    assert by[("H-L", 1)] == 1.0
+    assert by[("H-H", 1)] < 0.9, "H-L must exceed H-H by >= ~10 %"
+    assert by[("L-L", 1)] < 1.0
+    assert 0.7 < by[("H-L", 2)] < 0.98, "2 hops must interfere less"

@@ -1,0 +1,46 @@
+"""Fig. 6 and Fig. 7: execution time and PSN across the six frameworks.
+
+One set of runtime simulations feeds both figures (as in the paper):
+20-application sequences of each workload type, arriving every 0.1 s
+with loose deadlines so every framework executes all 20 applications.
+
+Fig. 6 expected shape: PARM frameworks finish the sequence much faster
+than HM frameworks (paper: up to 25 % compute / 34 % communication /
+13 % mixed for PARM+PANR over HM+XY).
+
+Fig. 7 expected shape: PARM frameworks show severalfold lower peak and
+average PSN than HM frameworks (paper: up to 4.15-4.5x).
+"""
+
+import pytest
+
+from repro.exp import figures
+
+_ROWS = []
+
+
+def test_fig6_execution_time(benchmark, once):
+    rows = once(benchmark, figures.run_fig67, seeds=(1, 2))
+    _ROWS.extend(rows)
+    figures.print_fig6(rows)
+
+    by = {(r.workload, r.framework): r for r in rows}
+    for workload in ("compute", "communication", "mixed"):
+        parm = by[(workload, "PARM+PANR")]
+        hm = by[(workload, "HM+XY")]
+        assert parm.total_time_s < hm.total_time_s
+        assert parm.improvement_vs_hm_xy_pct > 8.0
+
+
+def test_fig7_psn(benchmark, once):
+    if not _ROWS:
+        pytest.skip("fig6 benchmark did not run first")
+    rows = once(benchmark, lambda: _ROWS)  # reuse the fig6 runs
+    figures.print_fig7(rows)
+
+    by = {(r.workload, r.framework): r for r in rows}
+    for workload in ("compute", "communication", "mixed"):
+        parm = by[(workload, "PARM+PANR")]
+        hm = by[(workload, "HM+XY")]
+        assert parm.psn_reduction_vs_hm_xy > 1.5
+        assert parm.avg_psn_pct < hm.avg_psn_pct

@@ -1,0 +1,18 @@
+"""Cross-model validation: fast PSN kernels vs the transient solver.
+
+DESIGN.md decision #1 commits the fast runtime model to tracking the
+MNA ground truth on the configurations the managers actually produce;
+this bench measures it across the suite and both managers and prints
+the per-decision table.
+"""
+
+from repro.exp.validation import print_validation, validate_on_manager_decisions
+
+
+def test_fast_model_validation(benchmark, once):
+    summary = once(benchmark, validate_on_manager_decisions)
+    print_validation(summary)
+
+    assert summary.rank_agreement
+    assert summary.mean_abs_peak_error_pct < 2.0
+    assert summary.worst_tile_error_pct < 5.0

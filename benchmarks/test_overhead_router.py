@@ -1,0 +1,39 @@
+"""Section 4.4 overhead table: PANR's per-router hardware cost.
+
+Regenerates the stated numbers at the 7 nm node: ~115 um^2 of added
+logic (registers + two 64-bit comparators + wiring) against the
+~71300 um^2 baseline router, ~413 um^2 for the PSN sensor network
+against the ~4 mm^2 core, and ~1 mW / 3 % router power overhead at a
+near-threshold ~1 GHz operating point.
+"""
+
+from repro.noc.overhead import panr_router_overhead
+
+
+def test_overhead_table(benchmark, once):
+    report = once(
+        benchmark, panr_router_overhead, vdd=0.4, flits_per_cycle=0.25
+    )
+
+    print("Section 4.4: PANR per-router overhead at 7 nm")
+    print(f"  registers            {report.register_area_um2:8.1f} um^2")
+    print(f"  comparators (2x64b)  {report.comparator_area_um2:8.1f} um^2")
+    print(f"  wiring/muxing        {report.wiring_area_um2:8.1f} um^2")
+    print(
+        f"  total logic          {report.logic_area_um2:8.1f} um^2 "
+        f"({report.area_fraction_of_router * 100:.2f}% of router)"
+    )
+    print(
+        f"  PSN sensor macro     {report.sensor_area_um2:8.1f} um^2 "
+        f"({report.sensor_fraction_of_core * 100:.3f}% of core)"
+    )
+    print(
+        f"  power overhead       {report.power_overhead_w * 1000:8.2f} mW "
+        f"({report.power_fraction_of_router * 100:.0f}% of router)"
+    )
+
+    assert 100 < report.logic_area_um2 < 130  # paper: ~115 um^2
+    assert report.sensor_area_um2 == 413.0  # paper: ~413 um^2
+    assert report.area_fraction_of_router < 0.01
+    assert 0.3e-3 < report.power_overhead_w < 3e-3  # paper: ~1 mW
+    assert abs(report.power_fraction_of_router - 0.03) < 1e-9  # paper: 3 %

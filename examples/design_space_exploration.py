@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Design-space exploration: PARM across platforms the paper didn't test.
+
+Every model in the repository is parameterised, so the framework runs on
+platforms beyond the paper's 10x6 / 7 nm / 65 W point.  This example
+sweeps two axes:
+
+1. **technology node** (14 nm / 10 nm / 7 nm) at the paper's mesh - how
+   does PSN-aware management pay off as scaling makes noise worse?
+2. **mesh size** (6x4 / 10x6 / 12x8, with the DsPB scaled per tile) -
+   does the advantage hold on smaller and larger chips?
+
+Caveats worth knowing: the fast PSN kernels shipped in
+``repro.pdn.fast`` are calibrated at 7 nm (re-run
+``python -m repro.pdn.calibrate`` with another node for exact numbers at
+14/10 nm - trends shown here come from the power model and are robust),
+and on the 6x4 chip the scaled ~26 W budget cannot fit HM's fixed
+nominal-Vdd mappings at all, so HM completes nothing there - PARM's
+Vdd/DoP adaptation is what makes the small chip usable.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.apps.suite import ProfileLibrary
+from repro.apps.workload import WorkloadType, generate_workload
+from repro.chip.cmp import ChipDescription
+from repro.chip.dvfs import VddLadder
+from repro.chip.mesh import MeshGeometry
+from repro.chip.technology import technology
+from repro.core import HarmonicManager, ParmManager
+from repro.noc.routing import make_routing
+from repro.runtime.simulator import RuntimeSimulator
+
+
+def run_platform(chip, library, n_apps=10, seed=3):
+    workload = generate_workload(
+        WorkloadType.MIXED,
+        arrival_interval_s=0.1,
+        n_apps=n_apps,
+        seed=seed,
+        library=library,
+        deadline_slack_range=(30.0, 30.0),
+    )
+    out = {}
+    for label, manager, routing in (
+        ("PARM+PANR", ParmManager(), "panr"),
+        ("HM+XY", HarmonicManager(), "xy"),
+    ):
+        sim = RuntimeSimulator(chip, manager, make_routing(routing), seed=7)
+        out[label] = sim.run(workload)
+    return out
+
+
+def main():
+    print("=" * 72)
+    print("Axis 1: technology node (10x6 mesh, budget 65 W)")
+    print(
+        f"{'node':>6s} {'framework':>10s} {'total':>7s} {'done':>5s} "
+        f"{'peak PSN %':>11s} {'VEs':>6s}"
+    )
+    for node in ("14nm", "10nm", "7nm"):
+        tech = technology(node)
+        ladder = VddLadder.from_range(tech.vdd_ntc, tech.vdd_nominal, 0.1)
+        chip = ChipDescription(
+            mesh=MeshGeometry(10, 6),
+            tech=tech,
+            vdd_ladder=ladder,
+            dark_silicon_budget_w=65.0,
+        )
+        library = ProfileLibrary(tech=tech, vdds=tuple(ladder))
+        for label, m in run_platform(chip, library).items():
+            print(
+                f"{node:>6s} {label:>10s} {m.total_time_s:>6.2f}s "
+                f"{m.completed_count:>5d} {m.peak_psn_pct:>11.2f} "
+                f"{m.total_ve_count:>6d}"
+            )
+
+    print()
+    print("Axis 2: mesh size at 7 nm (budget scaled ~1.08 W per tile)")
+    print(
+        f"{'mesh':>6s} {'framework':>10s} {'total':>7s} {'done':>5s} "
+        f"{'peak PSN %':>11s} {'VEs':>6s}"
+    )
+    library = ProfileLibrary()
+    for width, height in ((6, 4), (10, 6), (12, 8)):
+        chip = ChipDescription(
+            mesh=MeshGeometry(width, height),
+            tech=technology("7nm"),
+            vdd_ladder=VddLadder.paper_default(),
+            dark_silicon_budget_w=round(65.0 / 60 * width * height, 1),
+        )
+        for label, m in run_platform(chip, library).items():
+            print(
+                f"{width}x{height:<3d} {label:>10s} {m.total_time_s:>6.2f}s "
+                f"{m.completed_count:>5d} {m.peak_psn_pct:>11.2f} "
+                f"{m.total_ve_count:>6d}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Quickstart: map one application with PARM and inspect the outcome.
+
+Builds the paper's 60-tile 7 nm CMP, loads the offline profile of one
+SPLASH-2 benchmark, asks PARM (Algorithm 1 + 2) for a Vdd / DoP /
+placement decision, and evaluates the resulting power-supply noise with
+the calibrated fast PSN model.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps.suite import ProfileLibrary
+from repro.chip import default_chip
+from repro.core import HarmonicManager, ParmManager
+from repro.exp.viz import render_placement
+from repro.pdn.fast import FastPsnModel
+from repro.pdn.waveforms import TileLoad
+from repro.runtime.state import ChipState
+
+
+def describe_decision(name, decision, chip, graph):
+    print(f"\n{name}:")
+    print(f"  Vdd = {decision.vdd:.1f} V, DoP = {decision.dop} threads, "
+          f"estimated power = {decision.power_w:.1f} W")
+    domains = sorted({chip.domains.domain_of(t) for t in decision.tiles})
+    print(f"  occupies domains {domains}")
+    print("  placement (H = high-activity task, L = low, . = dark):")
+    for row in render_placement(chip, decision, graph).splitlines():
+        print("    " + row)
+
+
+def psn_of_decision(decision, chip, graph):
+    """Worst per-tile peak PSN of the mapped application."""
+    model = FastPsnModel()
+    power_model = chip.power_model
+    worst = 0.0
+    used_domains = {chip.domains.domain_of(t) for t in decision.tiles}
+    tile_task = {tile: task for task, tile in decision.task_to_tile.items()}
+    for domain in used_domains:
+        loads = []
+        for tile in chip.domains.tiles_of(domain):
+            task_id = tile_task.get(tile)
+            if task_id is None:
+                loads.append(TileLoad.idle())
+                continue
+            task = graph.task(task_id)
+            core = power_model.core_dynamic(
+                task.activity_factor, decision.vdd
+            ) + power_model.core_leakage(decision.vdd)
+            loads.append(TileLoad(core, 0.05, task.activity_bin))
+        peak, _ = model.domain_psn(decision.vdd, loads)
+        worst = max(worst, float(peak.max()))
+    return worst
+
+
+def main():
+    chip = default_chip()
+    print(f"Platform: {chip.mesh.width}x{chip.mesh.height} mesh at "
+          f"{chip.tech.name}, DsPB = {chip.dark_silicon_budget_w:.0f} W, "
+          f"Vdd ladder = {list(chip.vdd_ladder)}")
+
+    library = ProfileLibrary()
+    profile = library.get("fft")
+    deadline_s = 0.5
+    print(f"\nApplication: {profile.name} "
+          f"({profile.kind.value}-intensive), deadline {deadline_s * 1e3:.0f} ms")
+    print("Profiled WCET (ms) at the operating-point corners:")
+    for vdd in (0.4, 0.8):
+        for dop in (4, 32):
+            print(f"  Vdd={vdd:.1f}V DoP={dop:>2d}: "
+                  f"{profile.wcet_s(vdd, dop) * 1e3:7.1f} ms, "
+                  f"{profile.power_w(vdd, dop):5.1f} W")
+
+    for manager in (ParmManager(), HarmonicManager()):
+        decision = manager.try_map(profile, deadline_s, ChipState(chip))
+        if decision is None:
+            print(f"\n{manager.name}: no feasible mapping")
+            continue
+        graph = profile.graph(decision.dop)
+        describe_decision(manager.name, decision, chip, graph)
+        peak = psn_of_decision(decision, chip, graph)
+        margin = "EXCEEDS" if peak > 5.0 else "within"
+        print(f"  worst peak PSN = {peak:.2f} % of Vdd "
+              f"({margin} the 5 % voltage-emergency margin)")
+
+
+if __name__ == "__main__":
+    main()

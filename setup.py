@@ -1,0 +1,9 @@
+"""Thin setup shim: metadata lives in pyproject.toml.
+
+Present so that ``pip install -e .`` works in offline environments
+without the ``wheel`` package (pip falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

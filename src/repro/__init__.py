@@ -1,0 +1,18 @@
+"""PARM reproduction: PSN-aware resource management for NoC-based CMPs.
+
+A full Python reimplementation of Raparti & Pasricha, "PARM: Power Supply
+Noise Aware Resource Management for NoC based Multicore Systems in the
+Dark Silicon Era" (DAC 2018), together with every substrate its evaluation
+depends on:
+
+* :mod:`repro.chip`   - CMP platform (mesh, power domains, DVFS, power model)
+* :mod:`repro.pdn`    - power delivery network, MNA transient solver, PSN models
+* :mod:`repro.apps`   - application graphs, offline profiles, benchmark suite
+* :mod:`repro.noc`    - mesh NoC: routing algorithms, cycle-level + analytical models
+* :mod:`repro.sched`  - deadline assignment and EDF scheduling
+* :mod:`repro.core`   - the PARM framework (Algorithms 1 and 2) and the HM baseline
+* :mod:`repro.runtime`- discrete-event runtime simulator with fault handling
+* :mod:`repro.exp`    - experiment harness reproducing every paper figure
+"""
+
+__version__ = "1.0.0"

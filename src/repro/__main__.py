@@ -1,0 +1,62 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro                       # quick report to stdout
+    python -m repro --preset full         # paper-sized runs
+    python -m repro --sections fig1 fig8  # a subset of the figures
+    python -m repro --output report.md    # write to a file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.exp.report import PRESETS, generate_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the PARM (DAC 2018) evaluation figures.",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=sorted(PRESETS),
+        default="quick",
+        help="run size: quick (~1-2 min) or full (paper-sized)",
+    )
+    parser.add_argument(
+        "--sections",
+        nargs="+",
+        metavar="SECTION",
+        help="subset of: fig1 fig3a fig3b fig67 fig8 overhead ablations",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the markdown report to this file instead of stdout",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        report = generate_report(preset=args.preset, sections=args.sections)
+    except KeyError as exc:
+        parser.error(str(exc))
+        return 2  # unreachable; parser.error exits
+    try:
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(report)
+            print(f"wrote {args.output}")
+        else:
+            print(report)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

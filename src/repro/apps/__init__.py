@@ -1,0 +1,56 @@
+"""Application model: task graphs, offline profiles, benchmark suite.
+
+The paper's applications (Section 3.2) are multithreaded programs from
+SPLASH-2 and PARSEC, each able to run with a variable degree of
+parallelism (DoP, multiples of 4 up to 32).  An application is described
+by its application graph (APG): a DAG whose vertices are threads and whose
+edge weights are communication volumes.  Each thread is binned as High or
+Low switching activity; each application has a performance deadline.
+
+GEM5/McPAT offline profiling is replaced by a synthetic-but-calibrated
+profile database (:mod:`repro.apps.suite` and :mod:`repro.apps.profiles`)
+that produces, for every (Vdd, DoP) operating point, exactly the
+statistics the paper's framework consumes: estimated WCET, power
+consumption, per-task activity bins and APG communication volumes.
+"""
+
+from repro.apps.graph import ApplicationGraph, TaskNode
+from repro.apps.io import load_profile, save_profile
+from repro.apps.performance import PerformanceModel, SyncOverheadModel
+from repro.apps.profiles import (
+    ApplicationProfile,
+    BenchmarkSpec,
+    OperatingPoint,
+    build_profile,
+)
+from repro.apps.suite import (
+    BENCHMARKS,
+    COMMUNICATION_BENCHMARKS,
+    COMPUTE_BENCHMARKS,
+    benchmark,
+)
+from repro.apps.workload import (
+    ApplicationArrival,
+    WorkloadType,
+    generate_workload,
+)
+
+__all__ = [
+    "ApplicationGraph",
+    "TaskNode",
+    "load_profile",
+    "save_profile",
+    "PerformanceModel",
+    "SyncOverheadModel",
+    "ApplicationProfile",
+    "BenchmarkSpec",
+    "OperatingPoint",
+    "build_profile",
+    "BENCHMARKS",
+    "COMMUNICATION_BENCHMARKS",
+    "COMPUTE_BENCHMARKS",
+    "benchmark",
+    "ApplicationArrival",
+    "WorkloadType",
+    "generate_workload",
+]

@@ -1,0 +1,275 @@
+"""Application graphs (APGs): DAGs of threads with communication volumes.
+
+Section 3.2 of the paper: ``APG = G(V, E)`` is a directed acyclic graph
+where each vertex is a thread and each edge weight is the communication
+volume between two threads.  The PSN-aware mapping heuristic consumes the
+edges sorted by decreasing volume (Algorithm 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.pdn.waveforms import ActivityBin
+
+
+@dataclass(frozen=True)
+class TaskNode:
+    """One thread of an application.
+
+    Attributes:
+        task_id: Index of the thread within the application (0-based).
+        activity_bin: High or Low switching-activity class.
+        work_cycles: Computation demand of the thread in core cycles.
+        activity_factor: Core switching-activity factor in [0, 1] used by
+            the power model (High-bin tasks have larger factors).
+    """
+
+    task_id: int
+    activity_bin: ActivityBin
+    work_cycles: float
+    activity_factor: float
+
+    def __post_init__(self) -> None:
+        if self.task_id < 0:
+            raise ValueError("task_id must be non-negative")
+        if self.work_cycles < 0:
+            raise ValueError("work_cycles must be non-negative")
+        if not 0.0 <= self.activity_factor <= 1.0:
+            raise ValueError("activity_factor must be in [0, 1]")
+
+
+class ApplicationGraph:
+    """A validated APG with volume-sorted edge access.
+
+    Edges carry ``volume_bytes``: the total data exchanged between the two
+    threads over one execution of the application.
+    """
+
+    def __init__(self) -> None:
+        self._g = nx.DiGraph()
+        self._tasks: Dict[int, TaskNode] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_task(self, task: TaskNode) -> None:
+        """Add a thread; task ids must be unique."""
+        if task.task_id in self._tasks:
+            raise ValueError(f"duplicate task id {task.task_id}")
+        self._tasks[task.task_id] = task
+        self._g.add_node(task.task_id)
+
+    def replace_task(self, task: TaskNode) -> None:
+        """Replace the attributes of an existing task (same id)."""
+        if task.task_id not in self._tasks:
+            raise ValueError(f"unknown task id {task.task_id}")
+        self._tasks[task.task_id] = task
+
+    def scale_volumes(self, factor: float) -> None:
+        """Multiply every edge's communication volume by ``factor``.
+
+        Used by the profile builder to normalise a generated graph to an
+        application's total communication volume: the data a program
+        moves is set by its problem size, so finer partitioning (higher
+        DoP) means proportionally less volume per edge.
+        """
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        for u, v, data in self._g.edges(data=True):
+            data["volume_bytes"] = data["volume_bytes"] * factor
+
+    def add_edge(self, src: int, dst: int, volume_bytes: float) -> None:
+        """Add a communication edge; both endpoints must exist."""
+        if src not in self._tasks or dst not in self._tasks:
+            raise ValueError(f"edge ({src}, {dst}) references unknown task")
+        if src == dst:
+            raise ValueError("self edges are not allowed")
+        if volume_bytes < 0:
+            raise ValueError("volume must be non-negative")
+        self._g.add_edge(src, dst, volume_bytes=float(volume_bytes))
+        if not nx.is_directed_acyclic_graph(self._g):
+            self._g.remove_edge(src, dst)
+            raise ValueError(f"edge ({src}, {dst}) would create a cycle")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def task_count(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def edge_count(self) -> int:
+        return self._g.number_of_edges()
+
+    def task(self, task_id: int) -> TaskNode:
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise KeyError(f"unknown task id {task_id}")
+
+    def tasks(self) -> List[TaskNode]:
+        """All tasks ordered by id."""
+        return [self._tasks[i] for i in sorted(self._tasks)]
+
+    def edges(self) -> List[Tuple[int, int, float]]:
+        """All edges as ``(src, dst, volume_bytes)``."""
+        return [
+            (u, v, d["volume_bytes"]) for u, v, d in self._g.edges(data=True)
+        ]
+
+    def edges_by_volume(self) -> List[Tuple[int, int, float]]:
+        """Edges sorted by decreasing volume (ties broken by endpoints for
+        determinism) - the order consumed by Algorithm 2."""
+        return sorted(self.edges(), key=lambda e: (-e[2], e[0], e[1]))
+
+    def volume(self, src: int, dst: int) -> float:
+        """Volume of one edge (0 if absent)."""
+        data = self._g.get_edge_data(src, dst)
+        return data["volume_bytes"] if data else 0.0
+
+    def total_volume_bytes(self) -> float:
+        return sum(v for _, _, v in self.edges())
+
+    def predecessors(self, task_id: int) -> List[int]:
+        return sorted(self._g.predecessors(task_id))
+
+    def successors(self, task_id: int) -> List[int]:
+        return sorted(self._g.successors(task_id))
+
+    def topological_order(self) -> List[int]:
+        """Deterministic topological order of task ids."""
+        return list(nx.lexicographical_topological_sort(self._g))
+
+    def sources(self) -> List[int]:
+        return sorted(n for n in self._g.nodes if self._g.in_degree(n) == 0)
+
+    def sinks(self) -> List[int]:
+        return sorted(n for n in self._g.nodes if self._g.out_degree(n) == 0)
+
+    def high_tasks(self) -> List[int]:
+        return [t.task_id for t in self.tasks() if t.activity_bin.is_high]
+
+    def low_tasks(self) -> List[int]:
+        return [t.task_id for t in self.tasks() if not t.activity_bin.is_high]
+
+    def to_dot(self, name: str = "apg") -> str:
+        """Graphviz DOT representation (debugging / documentation).
+
+        High-activity tasks render as doubled circles; edge labels are
+        volumes in MB.
+        """
+        lines = [f'digraph {name} {{', "  rankdir=LR;"]
+        for task in self.tasks():
+            shape = "doublecircle" if task.activity_bin.is_high else "circle"
+            lines.append(
+                f'  t{task.task_id} [shape={shape}, '
+                f'label="T{task.task_id}"];'
+            )
+        for src, dst, volume in self.edges():
+            lines.append(
+                f'  t{src} -> t{dst} [label="{volume / 1e6:.1f}MB"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Generators
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def fork_join(
+        cls,
+        task_count: int,
+        work_cycles: Iterable[float],
+        activity_bins: Iterable[ActivityBin],
+        activity_factors: Iterable[float],
+        volumes_bytes: Iterable[float],
+    ) -> "ApplicationGraph":
+        """Classic fork-join shape: task 0 forks to 1..n-2, all join at
+        the last task.  ``volumes_bytes`` gives fork volumes then join
+        volumes, ``2 * (task_count - 2)`` entries.
+        """
+        if task_count < 3:
+            raise ValueError("fork-join needs at least 3 tasks")
+        work = list(work_cycles)
+        bins = list(activity_bins)
+        factors = list(activity_factors)
+        volumes = list(volumes_bytes)
+        middle = task_count - 2
+        if not (len(work) == len(bins) == len(factors) == task_count):
+            raise ValueError("per-task attribute lengths must equal task_count")
+        if len(volumes) != 2 * middle:
+            raise ValueError(f"need {2 * middle} volumes, got {len(volumes)}")
+        g = cls()
+        for i in range(task_count):
+            g.add_task(TaskNode(i, bins[i], work[i], factors[i]))
+        last = task_count - 1
+        for k, mid in enumerate(range(1, last)):
+            g.add_edge(0, mid, volumes[k])
+            g.add_edge(mid, last, volumes[middle + k])
+        return g
+
+    @classmethod
+    def layered(
+        cls,
+        layer_sizes: List[int],
+        rng: np.random.Generator,
+        work_cycles_range: Tuple[float, float],
+        high_fraction: float,
+        volume_range: Tuple[float, float],
+        high_activity_range: Tuple[float, float] = (0.55, 0.9),
+        low_activity_range: Tuple[float, float] = (0.12, 0.35),
+        fanout: int = 2,
+    ) -> "ApplicationGraph":
+        """Random layered DAG: edges go from each task to ``fanout``
+        random tasks of the next layer (plus a connectivity guarantee that
+        every task has at least one predecessor in the previous layer).
+        """
+        if any(s < 1 for s in layer_sizes) or not layer_sizes:
+            raise ValueError("layer sizes must be positive")
+        if not 0.0 <= high_fraction <= 1.0:
+            raise ValueError("high_fraction must be in [0, 1]")
+        g = cls()
+        task_count = sum(layer_sizes)
+        n_high = int(round(high_fraction * task_count))
+        # Deterministic bin assignment: shuffle ids, first n_high are HIGH.
+        ids = list(range(task_count))
+        rng.shuffle(ids)
+        high_set = set(ids[:n_high])
+        for i in range(task_count):
+            is_high = i in high_set
+            bin_ = ActivityBin.HIGH if is_high else ActivityBin.LOW
+            factor_range = high_activity_range if is_high else low_activity_range
+            g.add_task(
+                TaskNode(
+                    i,
+                    bin_,
+                    float(rng.uniform(*work_cycles_range)),
+                    float(rng.uniform(*factor_range)),
+                )
+            )
+        # Layer index bounds.
+        starts = np.cumsum([0] + layer_sizes).tolist()
+        for layer in range(len(layer_sizes) - 1):
+            cur = range(starts[layer], starts[layer + 1])
+            nxt = list(range(starts[layer + 1], starts[layer + 2]))
+            for u in cur:
+                targets = rng.choice(
+                    nxt, size=min(fanout, len(nxt)), replace=False
+                )
+                for v in targets:
+                    if g.volume(u, int(v)) == 0.0:
+                        g.add_edge(u, int(v), float(rng.uniform(*volume_range)))
+            for v in nxt:
+                if not g.predecessors(v):
+                    u = int(rng.choice(list(cur)))
+                    g.add_edge(u, v, float(rng.uniform(*volume_range)))
+        return g

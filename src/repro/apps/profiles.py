@@ -1,0 +1,294 @@
+"""Offline application profiles: the data PARM consumes at runtime.
+
+The paper (Fig. 4) feeds PARM with offline profiling data collected on
+GEM5/McPAT: per-application statistics on switching activity, power
+consumption and NoC communication at every (Vdd, DoP) operating point.
+:func:`build_profile` produces the same artefact from a
+:class:`BenchmarkSpec`:
+
+* a DoP-sized application graph per supported DoP (deterministic per
+  benchmark seed), with per-task activity bins/factors and communication
+  volumes;
+* a WCET estimate per (Vdd, DoP) from the EDF-schedule performance model;
+* power-consumption estimates per (Vdd, DoP) from the chip power model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.graph import ApplicationGraph
+from repro.apps.performance import PerformanceModel
+from repro.chip.power import PowerModel
+from repro.chip.technology import TechnologyNode, technology
+
+#: Payload bytes carried by one NoC flit (used to convert APG volumes to
+#: router flit rates).
+FLIT_PAYLOAD_BYTES = 4.0
+
+#: DoP values supported by every profile (multiples of 4, up to 32 - the
+#: paper saw diminishing returns beyond 32 threads).
+SUPPORTED_DOPS = (4, 8, 12, 16, 20, 24, 28, 32)
+
+
+class AppKind(enum.Enum):
+    """Workload class of a benchmark (paper Section 5.1)."""
+
+    COMPUTE = "compute"
+    COMMUNICATION = "communication"
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Static description of one benchmark application.
+
+    Attributes:
+        name: Benchmark name (e.g. ``"fft"``).
+        kind: Compute- or communication-intensive class.
+        work_gcycles: Total computational work in giga-cycles.
+        serial_fraction: Amdahl serial fraction (work of the main thread
+            that does not parallelise).
+        high_fraction: Fraction of threads with High switching activity.
+        total_comm_mb: Total data the application moves over the NoC in
+            one execution, in megabytes.  The problem size fixes this
+            total; higher DoP partitions it over more edges, so per-edge
+            volumes shrink with parallelism.
+        seed: Seed for the benchmark's deterministic graph generation.
+    """
+
+    name: str
+    kind: AppKind
+    work_gcycles: float
+    serial_fraction: float
+    high_fraction: float
+    total_comm_mb: float
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.work_gcycles <= 0:
+            raise ValueError("work_gcycles must be positive")
+        if not 0.0 <= self.serial_fraction < 1.0:
+            raise ValueError("serial_fraction must be in [0, 1)")
+        if not 0.0 <= self.high_fraction <= 1.0:
+            raise ValueError("high_fraction must be in [0, 1]")
+        if self.total_comm_mb <= 0:
+            raise ValueError("total_comm_mb must be positive")
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Profiled statistics of one (Vdd, DoP) combination.
+
+    Attributes:
+        vdd: Supply voltage in volts.
+        dop: Degree of parallelism (thread count).
+        wcet_s: Estimated worst-case execution time in seconds.
+        power_w: Estimated total power draw (cores + routers) in watts.
+        avg_router_flits_per_cycle: Mean router injection+ejection rate
+            per occupied tile.
+    """
+
+    vdd: float
+    dop: int
+    wcet_s: float
+    power_w: float
+    avg_router_flits_per_cycle: float
+
+
+class ApplicationProfile:
+    """Offline profile of one application across operating points."""
+
+    def __init__(
+        self,
+        spec: BenchmarkSpec,
+        graphs: Dict[int, ApplicationGraph],
+        points: Dict[Tuple[float, int], OperatingPoint],
+    ):
+        self._spec = spec
+        self._graphs = graphs
+        self._points = points
+
+    @property
+    def spec(self) -> BenchmarkSpec:
+        return self._spec
+
+    @property
+    def name(self) -> str:
+        return self._spec.name
+
+    @property
+    def kind(self) -> AppKind:
+        return self._spec.kind
+
+    @property
+    def supported_dops(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._graphs))
+
+    @property
+    def supported_vdds(self) -> Tuple[float, ...]:
+        return tuple(sorted({v for v, _ in self._points}))
+
+    def graph(self, dop: int) -> ApplicationGraph:
+        """The APG for a DoP (threads = ``dop``)."""
+        try:
+            return self._graphs[dop]
+        except KeyError:
+            raise KeyError(
+                f"{self.name} has no graph for DoP {dop}; "
+                f"supported: {self.supported_dops}"
+            )
+
+    def point(self, vdd: float, dop: int) -> OperatingPoint:
+        """Profiled statistics at one operating point."""
+        key = (round(vdd, 9), dop)
+        try:
+            return self._points[key]
+        except KeyError:
+            raise KeyError(
+                f"{self.name} has no profile at Vdd={vdd}, DoP={dop}"
+            )
+
+    def wcet_s(self, vdd: float, dop: int) -> float:
+        return self.point(vdd, dop).wcet_s
+
+    def power_w(self, vdd: float, dop: int) -> float:
+        return self.point(vdd, dop).power_w
+
+    def task_router_flits_per_cycle(
+        self, vdd: float, dop: int, task_id: int
+    ) -> float:
+        """Router injection+ejection rate at a task's tile (flits/cycle)."""
+        point = self.point(vdd, dop)
+        graph = self.graph(dop)
+        bytes_at_task = sum(
+            v
+            for s, d, v in graph.edges()
+            if s == task_id or d == task_id
+        )
+        cycles = point.wcet_s * _frequency_of(vdd, self._tech_cache)
+        if cycles <= 0:
+            return 0.0
+        return (bytes_at_task / FLIT_PAYLOAD_BYTES) / cycles
+
+    # Set by build_profile; kept on the instance so router-rate queries
+    # do not need the chip passed around.
+    _tech_cache: TechnologyNode = None
+
+
+def _frequency_of(vdd: float, tech: TechnologyNode) -> float:
+    from repro.chip.dvfs import alpha_power_frequency
+
+    return alpha_power_frequency(vdd, tech)
+
+
+def _layer_sizes(dop: int) -> Sequence[int]:
+    """Fork-join-ish layering: 1 source, parallel middle layers, 1 sink."""
+    if dop < 4:
+        raise ValueError("dop must be at least 4")
+    middle = dop - 2
+    width = max(2, dop // 4)
+    layers = []
+    remaining = middle
+    while remaining > 0:
+        take = min(width, remaining)
+        layers.append(take)
+        remaining -= take
+    return [1] + layers + [1]
+
+
+def _build_graph(spec: BenchmarkSpec, dop: int) -> ApplicationGraph:
+    rng = np.random.default_rng(spec.seed * 1000 + dop)
+    total_cycles = spec.work_gcycles * 1e9
+    serial_cycles = spec.serial_fraction * total_cycles
+    parallel_cycles = total_cycles - serial_cycles
+    per_task = parallel_cycles / dop
+    graph = ApplicationGraph.layered(
+        layer_sizes=list(_layer_sizes(dop)),
+        rng=rng,
+        work_cycles_range=(per_task * 0.8, per_task * 1.2),
+        high_fraction=spec.high_fraction,
+        volume_range=(0.7, 1.3),  # relative weights, normalised below
+    )
+    # Normalise edge volumes so the whole-application total matches the
+    # problem-size-fixed communication volume.
+    total = graph.total_volume_bytes()
+    if total > 0:
+        graph.scale_volumes(spec.total_comm_mb * 1e6 / total)
+    # The source task additionally carries the serial work.
+    source = graph.sources()[0]
+    node = graph.task(source)
+    graph.replace_task(
+        dataclasses.replace(node, work_cycles=node.work_cycles + serial_cycles)
+    )
+    return graph
+
+
+def build_profile(
+    spec: BenchmarkSpec,
+    tech: Optional[TechnologyNode] = None,
+    vdds: Sequence[float] = (0.4, 0.5, 0.6, 0.7, 0.8),
+    dops: Sequence[int] = SUPPORTED_DOPS,
+    performance: Optional[PerformanceModel] = None,
+) -> ApplicationProfile:
+    """Run "offline profiling" for a benchmark.
+
+    Args:
+        spec: The benchmark description.
+        tech: Technology node (default 7 nm).
+        vdds: Supply voltages to profile.
+        dops: DoP values to profile (must be multiples of 4, the power
+            domain size).
+        performance: WCET model; defaults to one over the node's power
+            model.
+
+    Returns:
+        The populated :class:`ApplicationProfile`.
+    """
+    tech = tech or technology("7nm")
+    power_model = PowerModel(tech)
+    performance = performance or PerformanceModel(power_model)
+    if any(d % 4 or d < 4 for d in dops):
+        raise ValueError("DoP values must be positive multiples of 4")
+
+    graphs = {dop: _build_graph(spec, dop) for dop in dops}
+    points: Dict[Tuple[float, int], OperatingPoint] = {}
+    for dop, graph in graphs.items():
+        for vdd in vdds:
+            wcet = performance.estimate_wcet_s(graph, vdd)
+            freq = power_model.frequency(vdd)
+            cycles = wcet * freq
+            total_power = 0.0
+            total_flits = 0.0
+            for task in graph.tasks():
+                bytes_at_task = sum(
+                    v
+                    for s, d, v in graph.edges()
+                    if s == task.task_id or d == task.task_id
+                )
+                # Injection/ejection plus through-traffic: flits visit
+                # ~default_hops routers on their way across the region.
+                flits = (
+                    (bytes_at_task / FLIT_PAYLOAD_BYTES)
+                    * performance.default_hops
+                    / cycles
+                    if cycles > 0
+                    else 0.0
+                )
+                tile = power_model.tile_power(task.activity_factor, flits, vdd)
+                total_power += tile.total
+                total_flits += flits
+            points[(round(vdd, 9), dop)] = OperatingPoint(
+                vdd=vdd,
+                dop=dop,
+                wcet_s=wcet,
+                power_w=total_power,
+                avg_router_flits_per_cycle=total_flits / dop,
+            )
+    profile = ApplicationProfile(spec, graphs, points)
+    profile._tech_cache = tech
+    return profile

@@ -1,0 +1,71 @@
+"""Top-level chip description tying mesh, domains, technology and DVS.
+
+The paper's platform (Section 5.1): 60 ARM Cortex A-73 class tiles in a
+10x6 mesh at a 7 nm FinFET node, 2x2-tile power domains, per-domain Vdd
+between 0.4 V and 0.8 V in 0.1 V steps, and a dark-silicon power budget
+(DsPB) of 65 W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chip.domains import DomainMap
+from repro.chip.dvfs import VddLadder
+from repro.chip.mesh import MeshGeometry
+from repro.chip.power import PowerModel
+from repro.chip.technology import TechnologyNode, technology
+
+
+@dataclass(frozen=True)
+class ChipDescription:
+    """Immutable description of a CMP platform.
+
+    Attributes:
+        mesh: Tile mesh geometry.
+        tech: Fabrication technology node.
+        vdd_ladder: Permissible per-domain supply voltages.
+        dark_silicon_budget_w: Thermally safe chip power limit (DsPB).
+    """
+
+    mesh: MeshGeometry
+    tech: TechnologyNode
+    vdd_ladder: VddLadder
+    dark_silicon_budget_w: float
+    domains: DomainMap = field(init=False, repr=False, compare=False)
+    power_model: PowerModel = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.dark_silicon_budget_w <= 0:
+            raise ValueError("dark silicon power budget must be positive")
+        if self.vdd_ladder.lowest <= self.tech.vth:
+            raise ValueError(
+                f"lowest Vdd {self.vdd_ladder.lowest} V must exceed the "
+                f"threshold voltage {self.tech.vth} V of {self.tech.name}"
+            )
+        # Frozen dataclass: set derived members via object.__setattr__.
+        object.__setattr__(self, "domains", DomainMap(self.mesh))
+        object.__setattr__(self, "power_model", PowerModel(self.tech))
+
+    @property
+    def tile_count(self) -> int:
+        return self.mesh.tile_count
+
+    @property
+    def domain_count(self) -> int:
+        return self.domains.domain_count
+
+
+def default_chip(
+    width: int = 10,
+    height: int = 6,
+    tech_name: str = "7nm",
+    dark_silicon_budget_w: float = 65.0,
+) -> ChipDescription:
+    """The paper's evaluation platform (10x6 mesh, 7 nm, DsPB 65 W)."""
+    return ChipDescription(
+        mesh=MeshGeometry(width, height),
+        tech=technology(tech_name),
+        vdd_ladder=VddLadder.paper_default(),
+        dark_silicon_budget_w=dark_silicon_budget_w,
+    )

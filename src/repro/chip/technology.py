@@ -1,0 +1,206 @@
+"""Fabrication technology nodes and their electrical parameters.
+
+The paper evaluates a 7 nm FinFET CMP and motivates the problem with a
+scaling study (Fig. 1): peak power-supply noise, relative to the nominal
+near-threshold supply voltage, grows across process nodes and crosses the
+5 % voltage-emergency margin below 14 nm.
+
+The authors drew their numbers from ITRS projections and McPAT.  Neither is
+usable offline, so this module provides a self-contained scaling table with
+the same qualitative behaviour:
+
+* switched capacitance per core shrinks with feature size, but switching
+  frequency and current density grow faster, so the *di/dt* demand per tile
+  rises with scaling;
+* power-grid wires get thinner, so their resistance per segment rises;
+* on-die decoupling capacitance per tile falls (decap area competes with
+  logic);
+* near-threshold supply voltage falls with the threshold voltage.
+
+All values are per *tile* (one core + one NoC router + L1 caches) of the
+paper's mobile-class CMP (ARM Cortex A-73 at 7 nm) and are chosen so that a
+transient analysis of the power-delivery network reproduces the paper's
+reported noise magnitudes (a few percent of Vdd, exceeding 5 % at 7 nm
+near-threshold operation under a high-activity workload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """Electrical parameters of one fabrication process node.
+
+    Attributes:
+        name: Human-readable node name, e.g. ``"7nm"``.
+        feature_nm: Feature size in nanometres.
+        vdd_nominal: Nominal (super-threshold) supply voltage in volts.
+        vdd_ntc: Near-threshold supply voltage in volts (lowest DVS step).
+        vth: Transistor threshold voltage in volts.
+        alpha: Velocity-saturation exponent of the alpha-power frequency law.
+        freq_at_nominal_hz: Core clock frequency at ``vdd_nominal``.
+        switched_cap_core_f: Effective switched capacitance of a fully
+            active core, in farads (dynamic power = a * C * V^2 * f).
+        switched_cap_router_f: Effective switched capacitance of a NoC
+            router at full injection, in farads.
+        leakage_power_core_w: Core leakage power at ``vdd_nominal``, watts.
+        r_bump_ohm: Resistance of a tile's bump/VRM branch, ohms.
+        l_bump_h: Inductance of a tile's bump/VRM branch, henries.
+        r_grid_ohm: Resistance of one on-chip power-grid segment between
+            adjacent tiles, ohms.
+        l_grid_h: Inductance of one on-chip grid segment, henries.
+        c_decap_f: On-die decoupling capacitance per tile, farads.
+        core_area_mm2: Core area in square millimetres.
+        router_area_um2: Router area in square micrometres.
+    """
+
+    name: str
+    feature_nm: float
+    vdd_nominal: float
+    vdd_ntc: float
+    vth: float
+    alpha: float
+    freq_at_nominal_hz: float
+    switched_cap_core_f: float
+    switched_cap_router_f: float
+    leakage_power_core_w: float
+    r_bump_ohm: float
+    l_bump_h: float
+    r_grid_ohm: float
+    l_grid_h: float
+    c_decap_f: float
+    core_area_mm2: float
+    router_area_um2: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.vth < self.vdd_ntc <= self.vdd_nominal:
+            raise ValueError(
+                f"require 0 < vth < vdd_ntc <= vdd_nominal, got "
+                f"vth={self.vth}, vdd_ntc={self.vdd_ntc}, "
+                f"vdd_nominal={self.vdd_nominal}"
+            )
+        for field in (
+            "feature_nm",
+            "alpha",
+            "freq_at_nominal_hz",
+            "switched_cap_core_f",
+            "switched_cap_router_f",
+            "leakage_power_core_w",
+            "r_bump_ohm",
+            "l_bump_h",
+            "r_grid_ohm",
+            "l_grid_h",
+            "c_decap_f",
+            "core_area_mm2",
+            "router_area_um2",
+        ):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"{field} must be positive")
+
+
+def _node(
+    name: str,
+    feature_nm: float,
+    vdd_nominal: float,
+    vdd_ntc: float,
+    vth: float,
+    freq_ghz: float,
+    cap_core_nf: float,
+    leak_core_w: float,
+    r_bump_mohm: float,
+    l_bump_ph: float,
+    r_grid_mohm: float,
+    l_grid_ph: float,
+    c_decap_nf: float,
+    core_area_mm2: float,
+    router_area_um2: float,
+) -> TechnologyNode:
+    """Build a node from engineering units (GHz, nF, pH, milliohm)."""
+    return TechnologyNode(
+        name=name,
+        feature_nm=feature_nm,
+        vdd_nominal=vdd_nominal,
+        vdd_ntc=vdd_ntc,
+        vth=vth,
+        alpha=1.3,
+        freq_at_nominal_hz=freq_ghz * 1e9,
+        switched_cap_core_f=cap_core_nf * 1e-9,
+        switched_cap_router_f=cap_core_nf * 1e-9 * 0.5,
+        leakage_power_core_w=leak_core_w,
+        r_bump_ohm=r_bump_mohm * 1e-3,
+        l_bump_h=l_bump_ph * 1e-12,
+        r_grid_ohm=r_grid_mohm * 1e-3,
+        l_grid_h=l_grid_ph * 1e-12,
+        c_decap_f=c_decap_nf * 1e-9,
+        core_area_mm2=core_area_mm2,
+        router_area_um2=router_area_um2,
+    )
+
+
+# Scaling story across nodes (oldest -> newest): frequency and current
+# density rise, per-tile decap and grid-wire cross-section fall, threshold
+# and near-threshold voltages fall.  The 7 nm row matches the paper's
+# stated figures where it gives any (core area ~4 mm^2, router ~71300 um^2,
+# NTC Vdd range 0.4-0.8 V).
+TECHNOLOGY_LIBRARY: dict = {
+    "45nm": _node(
+        "45nm", 45.0, 1.10, 0.60, 0.38, 1.0,
+        cap_core_nf=1.6, leak_core_w=0.45,
+        r_bump_mohm=2.28, l_bump_ph=14.0,
+        r_grid_mohm=3, l_grid_ph=6, c_decap_nf=42.0,
+        core_area_mm2=14.0, router_area_um2=420000.0,
+    ),
+    "32nm": _node(
+        "32nm", 32.0, 1.00, 0.55, 0.35, 1.3,
+        cap_core_nf=1.8, leak_core_w=0.42,
+        r_bump_mohm=2.66, l_bump_ph=15.0,
+        r_grid_mohm=4.8, l_grid_ph=6.5, c_decap_nf=34.0,
+        core_area_mm2=10.5, router_area_um2=290000.0,
+    ),
+    "22nm": _node(
+        "22nm", 22.0, 0.95, 0.52, 0.33, 1.6,
+        cap_core_nf=2.0, leak_core_w=0.40,
+        r_bump_mohm=3.23, l_bump_ph=16.0,
+        r_grid_mohm=7.2, l_grid_ph=7.5, c_decap_nf=26.0,
+        core_area_mm2=8.0, router_area_um2=210000.0,
+    ),
+    "14nm": _node(
+        "14nm", 14.0, 0.90, 0.48, 0.31, 1.8,
+        cap_core_nf=2.3, leak_core_w=0.37,
+        r_bump_mohm=3.99, l_bump_ph=17.0,
+        r_grid_mohm=10.8, l_grid_ph=8.5, c_decap_nf=19.0,
+        core_area_mm2=6.2, router_area_um2=140000.0,
+    ),
+    "10nm": _node(
+        "10nm", 10.0, 0.85, 0.44, 0.28, 1.9,
+        cap_core_nf=2.6, leak_core_w=0.34,
+        r_bump_mohm=4.94, l_bump_ph=18.0,
+        r_grid_mohm=15.6, l_grid_ph=10, c_decap_nf=12.0,
+        core_area_mm2=5.0, router_area_um2=98000.0,
+    ),
+    "7nm": _node(
+        "7nm", 7.0, 0.80, 0.40, 0.25, 2.0,
+        cap_core_nf=2.9, leak_core_w=0.30,
+        r_bump_mohm=6.08, l_bump_ph=20.0,
+        r_grid_mohm=21.6, l_grid_ph=12, c_decap_nf=8.5,
+        core_area_mm2=4.0, router_area_um2=71300.0,
+    ),
+}
+
+#: Nodes ordered from oldest to newest, as plotted in Fig. 1.
+TECHNOLOGY_ORDER = ("45nm", "32nm", "22nm", "14nm", "10nm", "7nm")
+
+
+def technology(name: str) -> TechnologyNode:
+    """Look up a technology node by name.
+
+    Raises:
+        KeyError: if the node is not in :data:`TECHNOLOGY_LIBRARY`.
+    """
+    try:
+        return TECHNOLOGY_LIBRARY[name]
+    except KeyError:
+        known = ", ".join(sorted(TECHNOLOGY_LIBRARY))
+        raise KeyError(f"unknown technology node {name!r}; known nodes: {known}")

@@ -1,0 +1,35 @@
+"""The paper's contribution: PSN-aware resource management (PARM) + HM.
+
+* :mod:`repro.core.selection`  - Algorithm 1: joint Vdd and DoP selection;
+* :mod:`repro.core.clustering` - Algorithm 2 lines 3-9: activity- and
+  communication-aware task clustering into power-domain-sized groups;
+* :mod:`repro.core.placement`  - the cluster-to-domain and
+  task-to-tile placement step (Algorithm 2 line 13 / Fig. 5);
+* :mod:`repro.core.mapping`    - Algorithm 2 end to end;
+* :mod:`repro.core.hm`         - the harmonic-mapping baseline ([21]):
+  high-activity tasks scattered at maximal distances, no Vdd/DoP
+  adaptation;
+* :mod:`repro.core.orchestrator` - the reactive baseline ([19]):
+  PSN-oblivious first-fit mapping, fixed nominal Vdd, paired with the
+  runtime's sensor-triggered thread migration.
+"""
+
+from repro.core.base import MappingDecision, ResourceManager
+from repro.core.clustering import TaskCluster, cluster_tasks
+from repro.core.mapping import psn_aware_mapping
+from repro.core.placement import place_clusters
+from repro.core.selection import ParmManager
+from repro.core.hm import HarmonicManager
+from repro.core.orchestrator import OrchestratorManager
+
+__all__ = [
+    "MappingDecision",
+    "ResourceManager",
+    "TaskCluster",
+    "cluster_tasks",
+    "psn_aware_mapping",
+    "place_clusters",
+    "ParmManager",
+    "HarmonicManager",
+    "OrchestratorManager",
+]

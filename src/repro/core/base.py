@@ -1,0 +1,70 @@
+"""Common interface of the compared resource managers."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.apps.profiles import ApplicationProfile
+from repro.runtime.state import ChipState
+
+
+@dataclass(frozen=True)
+class MappingDecision:
+    """The manager's output for one application (Fig. 4).
+
+    Attributes:
+        vdd: Supply voltage for all of the application's tiles.
+        dop: Chosen degree of parallelism (thread count).
+        task_to_tile: Placement of every task.
+        power_w: Estimated power consumption charged against the DsPB.
+    """
+
+    vdd: float
+    dop: int
+    task_to_tile: Dict[int, int]
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if len(self.task_to_tile) != self.dop:
+            raise ValueError(
+                f"decision maps {len(self.task_to_tile)} tasks but DoP is {self.dop}"
+            )
+        tiles = list(self.task_to_tile.values())
+        if len(set(tiles)) != len(tiles):
+            raise ValueError("two tasks mapped to one tile")
+
+    @property
+    def tiles(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.task_to_tile.values()))
+
+
+class ResourceManager(abc.ABC):
+    """A runtime policy that maps arriving applications onto the CMP."""
+
+    #: Evaluation name used in experiment tables (e.g. ``"PARM"``).
+    name: str = "base"
+
+    @abc.abstractmethod
+    def try_map(
+        self,
+        profile: ApplicationProfile,
+        deadline_s: float,
+        state: ChipState,
+    ) -> Optional[MappingDecision]:
+        """Attempt to map one application.
+
+        Args:
+            profile: The application's offline profile.
+            deadline_s: Remaining time until the application's deadline
+                (relative, seconds).
+            state: Current chip occupancy (not modified; the runtime
+                applies the decision).
+
+        Returns:
+            A :class:`MappingDecision`, or ``None`` when no feasible
+            mapping exists right now (the runtime retries when resources
+            free up, and drops the application once its deadline can no
+            longer be met).
+        """

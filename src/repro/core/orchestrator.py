@@ -1,0 +1,75 @@
+"""Orchestrator-style reactive baseline (after Hu et al. [19]).
+
+The paper's related work includes thread mapping *and migration* schemes
+that minimise voltage fluctuations reactively: map first, watch the
+sensors, move the offending thread when noise appears.  This module
+provides the mapping half - a PSN-oblivious first-fit placement at the
+nominal voltage and a fixed thread count - and pairs with the runtime's
+:class:`~repro.runtime.migration.ReactiveMigrationPolicy`, which
+migrates the noisiest thread away when its tile's sensor crosses the
+voltage-emergency margin.
+
+The contrast with PARM is the paper's argument in Section 2: reactive
+("corrective") schemes pay detection latency and migration overhead for
+every hotspot, while PARM prevents the hotspots at mapping time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.apps.profiles import ApplicationProfile
+from repro.core.base import MappingDecision, ResourceManager
+from repro.runtime.state import ChipState
+
+
+@dataclass
+class OrchestratorManager(ResourceManager):
+    """PSN-oblivious first-fit mapper (the reactive scheme's front end).
+
+    Attributes:
+        default_dop: Fixed thread count (no DoP adaptation, like HM).
+    """
+
+    default_dop: int = 16
+    name = "ORCH"
+
+    def __post_init__(self) -> None:
+        if self.default_dop < 4 or self.default_dop % 4:
+            raise ValueError("default_dop must be a positive multiple of 4")
+
+    def try_map(
+        self,
+        profile: ApplicationProfile,
+        deadline_s: float,
+        state: ChipState,
+    ) -> Optional[MappingDecision]:
+        vdd = state.chip.vdd_ladder.highest
+        dop = self.default_dop
+        if dop not in profile.supported_dops:
+            raise ValueError(
+                f"{profile.name} does not support DoP {dop}"
+            )
+        if profile.wcet_s(vdd, dop) >= deadline_s:
+            return None
+        power = profile.power_w(vdd, dop)
+        if power > state.available_power_w():
+            return None
+        free = [
+            t
+            for t in state.free_tiles()
+            if state.domain_vdd(state.chip.domains.domain_of(t))
+            in (None, vdd)
+        ]
+        if len(free) < dop:
+            return None
+        graph = profile.graph(dop)
+        # First fit: tasks onto the lowest-numbered free tiles, in id
+        # order - deliberately oblivious to activity bins and traffic.
+        task_to_tile: Dict[int, int] = {
+            task.task_id: free[i] for i, task in enumerate(graph.tasks())
+        }
+        return MappingDecision(
+            vdd=vdd, dop=dop, task_to_tile=task_to_tile, power_w=power
+        )

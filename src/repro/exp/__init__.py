@@ -1,0 +1,34 @@
+"""Experiment harness: regenerates every figure of the paper's evaluation.
+
+* :mod:`repro.exp.frameworks` - the six compared (mapper, router)
+  combinations: HM+XY, HM+ICON, HM+PANR, PARM+XY, PARM+ICON, PARM+PANR;
+* :mod:`repro.exp.runner`     - one runtime simulation per framework and
+  workload, with seed averaging;
+* :mod:`repro.exp.figures`    - Fig. 1, 3a, 3b, 6, 7 and 8;
+* :mod:`repro.exp.ablations`  - the buffer-threshold (B), DoP-cap,
+  PARM-component, DsPB and checkpoint-period studies;
+* :mod:`repro.exp.guardband`  - guardband/decap savings analysis;
+* :mod:`repro.exp.report`     - the ``python -m repro`` one-shot report;
+* :mod:`repro.exp.viz`        - ASCII chip/PSN renderers.
+"""
+
+from repro.exp.frameworks import FRAMEWORKS, Framework, framework
+from repro.exp.runner import FrameworkResult, run_framework
+from repro.exp import ablations
+from repro.exp import figures
+from repro.exp import guardband
+from repro.exp import report
+from repro.exp import viz
+
+__all__ = [
+    "FRAMEWORKS",
+    "Framework",
+    "framework",
+    "FrameworkResult",
+    "run_framework",
+    "figures",
+    "ablations",
+    "guardband",
+    "report",
+    "viz",
+]

@@ -1,0 +1,52 @@
+"""The six framework combinations of the paper's evaluation (Section 5.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import HarmonicManager, ParmManager
+from repro.core.base import ResourceManager
+from repro.noc.routing import RoutingAlgorithm, make_routing
+
+
+@dataclass(frozen=True)
+class Framework:
+    """One (mapper, router) combination, e.g. ``PARM+PANR``."""
+
+    mapper: str
+    router: str
+
+    def __post_init__(self) -> None:
+        if self.mapper not in ("HM", "PARM"):
+            raise ValueError(f"unknown mapper {self.mapper!r}")
+        make_routing(self.router)  # validates the router name
+
+    @property
+    def name(self) -> str:
+        return f"{self.mapper}+{self.router.upper()}"
+
+    def make_manager(self) -> ResourceManager:
+        return ParmManager() if self.mapper == "PARM" else HarmonicManager()
+
+    def make_routing(self) -> RoutingAlgorithm:
+        return make_routing(self.router)
+
+
+#: The evaluation's six combinations, in the paper's order.
+FRAMEWORKS = (
+    Framework("HM", "xy"),
+    Framework("HM", "icon"),
+    Framework("HM", "panr"),
+    Framework("PARM", "xy"),
+    Framework("PARM", "icon"),
+    Framework("PARM", "panr"),
+)
+
+
+def framework(name: str) -> Framework:
+    """Look up a framework by its evaluation name (e.g. ``"PARM+PANR"``)."""
+    for fw in FRAMEWORKS:
+        if fw.name.lower() == name.lower():
+            return fw
+    known = ", ".join(f.name for f in FRAMEWORKS)
+    raise KeyError(f"unknown framework {name!r}; known: {known}")

@@ -1,0 +1,119 @@
+"""Guardband and decap savings enabled by PSN reduction (extension).
+
+The paper's conclusion argues that PARM "can be used to minimize the
+hardware overhead due to costly guardbanding techniques and
+decapacitance circuits".  This module quantifies both claims with the
+models already in the repository:
+
+* **Frequency guardband**: a pipeline designed to run at ``f(Vdd)`` must
+  actually be clocked at ``f(Vdd * (1 - PSN))`` to stay timing-safe
+  under a worst-case droop of ``PSN`` percent (alpha-power law).  The
+  difference is the guardband; lowering peak PSN recovers it.
+* **Equivalent decap**: alternatively a designer can suppress noise in
+  hardware by adding decoupling capacitance.  For the series-damped
+  bump-L/decap-C tank of our PDN the anti-resonant peak impedance is
+  ``L / (R C)``, so reducing droop by a factor ``k`` costs roughly ``k``
+  times the decap area - this converts a PSN reduction into the on-die
+  area a designer would otherwise have spent (verified against the AC
+  solver in the tests).
+
+A subtlety the analysis surfaces: because the alpha-power frequency
+margin ``(Vdd - Vth)`` is thin at near-threshold voltages, a given
+droop *percentage* costs more guardband at 0.4 V than at 0.8 V.
+Comparisons should therefore be made at one operating point: what PARM
+buys is the ability to run at NTC with a *small* droop, where HM-level
+noise would be catastrophic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.chip.dvfs import alpha_power_frequency
+from repro.chip.technology import TechnologyNode, technology
+
+
+@dataclass(frozen=True)
+class GuardbandRow:
+    """Guardband implied by one framework's measured peak PSN."""
+
+    label: str
+    vdd: float
+    peak_psn_pct: float
+    guardband_pct: float
+    relative_frequency: float
+
+
+def guardband_pct(
+    peak_psn_pct: float, vdd: float, tech: Optional[TechnologyNode] = None
+) -> float:
+    """Clock-frequency guardband (percent) required to tolerate a
+    worst-case supply droop of ``peak_psn_pct`` at ``vdd``.
+
+    The safe clock is the alpha-power-law frequency at the drooped
+    voltage; the guardband is the fractional frequency given up
+    relative to the nominal-supply clock.
+    """
+    if not 0.0 <= peak_psn_pct < 100.0:
+        raise ValueError("peak_psn_pct must be in [0, 100)")
+    tech = tech or technology("7nm")
+    v_droop = vdd * (1.0 - peak_psn_pct / 100.0)
+    if v_droop <= tech.vth:
+        return 100.0  # the droop eats the whole operating margin
+    f_nominal = alpha_power_frequency(vdd, tech)
+    f_safe = alpha_power_frequency(v_droop, tech)
+    return 100.0 * (1.0 - f_safe / f_nominal)
+
+
+def guardband_table(
+    measurements: Dict[str, Tuple[float, float]],
+    tech: Optional[TechnologyNode] = None,
+) -> List[GuardbandRow]:
+    """Guardband rows for measured (vdd, peak PSN %) per framework.
+
+    Args:
+        measurements: Mapping of label to ``(vdd, peak_psn_pct)`` -
+            typically the dominant operating voltage and the Fig. 7 peak
+            of each framework.
+        tech: Technology node (default 7 nm).
+    """
+    rows = []
+    for label, (vdd, psn) in measurements.items():
+        gb = guardband_pct(psn, vdd, tech)
+        rows.append(
+            GuardbandRow(
+                label=label,
+                vdd=vdd,
+                peak_psn_pct=psn,
+                guardband_pct=gb,
+                relative_frequency=1.0 - gb / 100.0,
+            )
+        )
+    return rows
+
+
+def equivalent_decap_factor(psn_reduction: float) -> float:
+    """Decap area factor a designer would need for the same PSN cut.
+
+    For the series-damped tank (bump R and L feeding the tile decap) the
+    anti-resonant peak impedance is ``L / (R C)`` - linear in ``1/C`` -
+    so lowering the droop by ``psn_reduction`` takes ``psn_reduction``
+    times the decoupling capacitance (and its silicon area).
+    """
+    if psn_reduction < 1.0:
+        raise ValueError("psn_reduction must be >= 1 (a reduction factor)")
+    return psn_reduction
+
+
+def print_guardband(rows: List[GuardbandRow]) -> None:
+    print("Extension: frequency guardband implied by peak PSN (7 nm)")
+    print(
+        f"{'framework':>12s} {'Vdd':>5s} {'peak PSN %':>11s} "
+        f"{'guardband %':>12s} {'rel. clock':>11s}"
+    )
+    for r in rows:
+        print(
+            f"{r.label:>12s} {r.vdd:>4.1f}V {r.peak_psn_pct:>11.2f} "
+            f"{r.guardband_pct:>12.1f} {r.relative_frequency:>11.3f}"
+        )

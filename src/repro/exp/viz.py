@@ -1,0 +1,137 @@
+"""ASCII renderers for chip state and per-tile maps.
+
+Terminal-friendly visualisation used by the examples: an occupancy map
+showing each application's tasks and their activity bins, and a PSN
+heat map with the voltage-emergency margin highlighted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.apps.graph import ApplicationGraph
+from repro.chip.cmp import ChipDescription
+from repro.core.base import MappingDecision
+from repro.runtime.state import ChipState
+
+#: Shades for the PSN heat map, from quiet to loud.
+_HEAT = " .:-=+*#%@"
+
+
+def render_placement(
+    chip: ChipDescription,
+    decision: MappingDecision,
+    graph: ApplicationGraph,
+) -> str:
+    """One application's placement: ``H``/``L`` per task, ``.`` dark."""
+    tile_task = {tile: task for task, tile in decision.task_to_tile.items()}
+    lines = []
+    for y in range(chip.mesh.height):
+        cells = []
+        for x in range(chip.mesh.width):
+            tile = chip.mesh.tile_at((x, y))
+            task_id = tile_task.get(tile)
+            if task_id is None:
+                cells.append(".")
+            else:
+                bin_ = graph.task(task_id).activity_bin
+                cells.append("H" if bin_.is_high else "L")
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def render_occupancy(chip: ChipDescription, state: ChipState) -> str:
+    """Whole-chip occupancy: one letter per application, ``.`` free.
+
+    Applications are lettered a, b, c, ... in ascending app-id order
+    (wrapping after z).
+    """
+    letters: Dict[int, str] = {}
+    for i, app_id in enumerate(state.running_apps()):
+        letters[app_id] = chr(ord("a") + i % 26)
+    lines = []
+    for y in range(chip.mesh.height):
+        cells = []
+        for x in range(chip.mesh.width):
+            occ = state.occupant(chip.mesh.tile_at((x, y)))
+            cells.append(letters[occ.app_id] if occ else ".")
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def render_psn_heatmap(
+    chip: ChipDescription,
+    psn_pct: Sequence[float],
+    threshold_pct: Optional[float] = 5.0,
+) -> str:
+    """Per-tile PSN heat map; tiles above the VE margin render as ``!``.
+
+    Args:
+        chip: The platform (for the mesh shape).
+        psn_pct: One PSN value per tile, percent of Vdd.
+        threshold_pct: Voltage-emergency margin; ``None`` disables the
+            emergency marker.
+    """
+    values = list(psn_pct)
+    if len(values) != chip.tile_count:
+        raise ValueError(
+            f"need {chip.tile_count} PSN values, got {len(values)}"
+        )
+    top = max(max(values), 1e-9)
+    lines = []
+    for y in range(chip.mesh.height):
+        cells = []
+        for x in range(chip.mesh.width):
+            v = values[chip.mesh.tile_at((x, y))]
+            if threshold_pct is not None and v > threshold_pct:
+                cells.append("!")
+            else:
+                idx = min(int(v / top * (len(_HEAT) - 1)), len(_HEAT) - 1)
+                cells.append(_HEAT[idx] if v > 0 else ".")
+        lines.append(" ".join(cells))
+    legend = f"scale: '.'=0  '@'={top:.1f}%"
+    if threshold_pct is not None:
+        legend += f"  '!'>{threshold_pct:.0f}% (voltage emergency)"
+    return "\n".join(lines) + "\n" + legend
+
+
+def render_psn_timeline(
+    trace,
+    width: int = 64,
+    threshold_pct: Optional[float] = 5.0,
+) -> str:
+    """ASCII timeline of chip peak PSN from a runtime trace.
+
+    Args:
+        trace: ``RunMetrics.trace`` entries (time, peak PSN %, occupied
+            tiles), as recorded with ``record_trace=True``.
+        width: Number of time buckets to render.
+        threshold_pct: Rows above this level render with ``!``.
+    """
+    if not trace:
+        return "(empty trace)"
+    t_end = trace[-1][0]
+    if t_end <= 0:
+        return "(trace too short)"
+    # Bucket by time, keeping the worst peak per bucket.
+    buckets = [0.0] * width
+    for t, peak, _ in trace:
+        idx = min(int(t / t_end * (width - 1)), width - 1)
+        buckets[idx] = max(buckets[idx], peak)
+    top = max(max(buckets), 1e-9)
+    levels = 8
+    lines = []
+    for level in range(levels, 0, -1):
+        cut = top * (level - 0.5) / levels
+        marker_row = ""
+        for value in buckets:
+            if value >= cut:
+                over = (
+                    threshold_pct is not None and cut >= threshold_pct
+                )
+                marker_row += "!" if over else "#"
+            else:
+                marker_row += " "
+        lines.append(f"{top * level / levels:6.1f}% |{marker_row}|")
+    lines.append(f"{'':>8s}0s{'':>{max(width - 10, 1)}s}{t_end:.2f}s")
+    return "\n".join(lines)

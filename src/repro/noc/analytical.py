@@ -1,0 +1,356 @@
+"""Flow-based analytical NoC model for runtime simulations.
+
+Cycle-accurate simulation of seconds of NoC traffic is far too slow for
+the Fig. 6-8 sweeps, so the runtime uses this model: every APG edge of a
+mapped application becomes a *flow* (source tile, destination tile, flit
+rate), flows are propagated through the mesh splitting fractionally at
+each router according to the routing policy's weights, and per-link
+utilisation / per-router activity / expected latency fall out.
+
+Adaptive policies (PANR, ICON) react to congestion and PSN, which in turn
+depend on the routing - so the model iterates to a fixed point: routing
+weights are computed against the previous iteration's link loads, router
+activities and PSN sensor values.
+
+Latency uses an M/D/1-style queueing term per link: a link with
+utilisation ``rho`` delays a flit ``rho / (2 (1 - rho))`` service slots on
+average, on top of the router pipeline latency.  Utilisation is clamped
+just below 1; a clamped link marks the report as saturated.
+
+The same :class:`~repro.noc.routing.base.RoutingAlgorithm` weights drive
+the cycle-level simulator, so the two models express one policy;
+``tests/noc/test_cross_validation.py`` checks their rank agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.noc.routing.base import RoutingAlgorithm, RoutingContext
+from repro.noc.topology import Direction, MeshTopology
+
+#: Utilisation clamp: loads above this mark the network saturated.
+RHO_MAX = 0.95
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One traffic flow (an APG edge mapped onto tiles).
+
+    Attributes:
+        src: Source tile id.
+        dst: Destination tile id.
+        rate: Offered load in flits per cycle.
+    """
+
+    src: int
+    dst: int
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("rate must be non-negative")
+
+
+@dataclass
+class FlowStats:
+    """Per-flow results of an analytical evaluation."""
+
+    avg_hops: float
+    header_latency_cycles: float
+    max_rho: float
+
+    @property
+    def latency_scale(self) -> float:
+        """Congestion multiplier for the flow's serialisation time
+        (>= 1; grows as the bottleneck link approaches saturation)."""
+        return 1.0 / (1.0 - min(self.max_rho, RHO_MAX))
+
+
+@dataclass
+class NocLoadReport:
+    """Chip-wide results of one analytical evaluation.
+
+    Attributes:
+        router_flits_per_cycle: Flits traversing each router per cycle
+            (including injection and ejection), indexed by tile id.
+        link_rho: Utilisation per unidirectional link.
+        flows: Per-flow statistics, in input order.
+        saturated: True when any link hit the utilisation clamp.
+    """
+
+    router_flits_per_cycle: np.ndarray
+    link_rho: Dict[Tuple[int, Direction], float]
+    flows: List[FlowStats]
+    saturated: bool
+
+    @property
+    def avg_latency_cycles(self) -> float:
+        """Rate-weighted mean header latency over all flows."""
+        if not self.flows:
+            return 0.0
+        return float(np.mean([f.header_latency_cycles for f in self.flows]))
+
+    @property
+    def max_router_rate(self) -> float:
+        return float(np.max(self.router_flits_per_cycle))
+
+
+class AnalyticalNocModel:
+    """Fixed-point flow model over one routing policy.
+
+    Args:
+        topo: The mesh topology.
+        routing: Routing policy (weights drive the flow splits).
+        iterations: Fixed-point iterations (2-3 suffice; deterministic
+            policies converge in 1).
+        link_bandwidth: Flits per cycle a link can carry (1.0 for a
+            single-flit-wide link).
+        router_noise_pct_per_flit: PSN a flit/cycle of router activity
+            adds to the tile's sensor reading, fed back into PSN-aware
+            routing decisions within the fixed point.
+        burstiness: Ratio of instantaneous to average offered load used
+            for link-utilisation (congestion) estimates.  Wormhole
+            traffic arrives in packet bursts, so links saturate well
+            below an average utilisation of 1; router *power* still uses
+            the raw average activity.
+    """
+
+    def __init__(
+        self,
+        topo: MeshTopology,
+        routing: RoutingAlgorithm,
+        iterations: int = 4,
+        link_bandwidth: float = 1.0,
+        router_noise_pct_per_flit: float = 1.5,
+        burstiness: float = 1.6,
+    ):
+        if iterations < 1:
+            raise ValueError("iterations must be at least 1")
+        if link_bandwidth <= 0:
+            raise ValueError("link_bandwidth must be positive")
+        if router_noise_pct_per_flit < 0:
+            raise ValueError("router_noise_pct_per_flit must be non-negative")
+        if burstiness < 1.0:
+            raise ValueError("burstiness must be >= 1")
+        self._topo = topo
+        self._routing = routing
+        self._iterations = iterations
+        self._bw = link_bandwidth
+        self._router_noise = router_noise_pct_per_flit
+        self._burstiness = burstiness
+
+    @property
+    def routing(self) -> RoutingAlgorithm:
+        return self._routing
+
+    def evaluate(
+        self,
+        flows: Sequence[Flow],
+        psn_pct: Optional[np.ndarray] = None,
+        per_hop_cycles: float = 3.0,
+    ) -> NocLoadReport:
+        """Evaluate the network under a set of flows.
+
+        Args:
+            flows: Offered traffic.
+            psn_pct: Per-tile PSN sensor readings consumed by PSN-aware
+                policies (zeros if omitted).
+            per_hop_cycles: Router pipeline latency per hop.
+
+        Returns:
+            The :class:`NocLoadReport`.
+        """
+        n_tiles = self._topo.mesh.tile_count
+        if psn_pct is None:
+            psn_pct = np.zeros(n_tiles)
+        psn_pct = np.asarray(psn_pct, dtype=float)
+        if psn_pct.shape != (n_tiles,):
+            raise ValueError(f"psn_pct must have shape ({n_tiles},)")
+        for f in flows:
+            self._topo.mesh._check_tile(f.src)
+            self._topo.mesh._check_tile(f.dst)
+
+        link_load: Dict[Tuple[int, Direction], float] = {}
+        router_load = np.zeros(n_tiles)
+        # Relaxed copies fed to the routing contexts: adaptive policies
+        # with sharp argmin selection can oscillate between iterations
+        # (all flow flips to the quiet side, which then becomes the loud
+        # side); under-relaxation damps the fixed point.
+        ctx_link: Dict[Tuple[int, Direction], float] = {}
+        ctx_router = np.zeros(n_tiles)
+        per_flow_splits: List[Dict[int, Dict[Direction, float]]] = []
+
+        for it in range(self._iterations):
+            contexts = self._build_contexts(ctx_link, ctx_router, psn_pct)
+            link_load, router_load, per_flow_splits = self._propagate(
+                flows, contexts
+            )
+            blend = 0.5 if it else 1.0
+            keys = set(ctx_link) | set(link_load)
+            ctx_link = {
+                k: (1 - blend) * ctx_link.get(k, 0.0)
+                + blend * link_load.get(k, 0.0)
+                for k in keys
+            }
+            ctx_router = (1 - blend) * ctx_router + blend * router_load
+
+        link_rho = {
+            link: min(load * self._burstiness / self._bw, RHO_MAX)
+            for link, load in link_load.items()
+        }
+        saturated = any(
+            load * self._burstiness / self._bw > RHO_MAX
+            for load in link_load.values()
+        )
+        flow_stats = [
+            self._flow_latency(f, split, link_rho, per_hop_cycles)
+            for f, split in zip(flows, per_flow_splits)
+        ]
+        return NocLoadReport(
+            router_flits_per_cycle=router_load,
+            link_rho=link_rho,
+            flows=flow_stats,
+            saturated=saturated,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _build_contexts(
+        self,
+        link_load: Dict[Tuple[int, Direction], float],
+        router_load: np.ndarray,
+        psn_pct: np.ndarray,
+    ) -> List[RoutingContext]:
+        """Per-router routing contexts from the previous iteration."""
+        topo = self._topo
+        contexts = []
+        for tile in topo.mesh.tiles():
+            incoming = [
+                link_load.get((topo.neighbor(tile, d), d.opposite), 0.0)
+                for d in topo.out_directions(tile)
+            ]
+            occupancy = (
+                min(1.0, max(incoming) * self._burstiness / self._bw)
+                if incoming
+                else 0.0
+            )
+            rates = {}
+            noise = {}
+            out_rho = {}
+            for d in topo.out_directions(tile):
+                n = topo.neighbor(tile, d)
+                rates[d] = float(router_load[n])
+                # The sensors a real PANR consults see the *current*
+                # noise, which includes the router activity the routing
+                # itself creates; feeding the running load estimate back
+                # here lets the fixed point co-converge instead of
+                # funnelling all traffic through one "quiet" corridor.
+                noise[d] = float(psn_pct[n]) + self._router_noise * float(
+                    router_load[n]
+                )
+                out_rho[d] = min(
+                    link_load.get((tile, d), 0.0) * self._burstiness / self._bw,
+                    1.0,
+                )
+            contexts.append(
+                RoutingContext(
+                    buffer_occupancy=occupancy,
+                    neighbor_data_rate=rates,
+                    neighbor_psn_pct=noise,
+                    out_link_rho=out_rho,
+                )
+            )
+        return contexts
+
+    def _propagate(
+        self,
+        flows: Sequence[Flow],
+        contexts: List[RoutingContext],
+    ):
+        topo = self._topo
+        link_load: Dict[Tuple[int, Direction], float] = {}
+        router_load = np.zeros(topo.mesh.tile_count)
+        per_flow_splits: List[Dict[int, Dict[Direction, float]]] = []
+
+        for flow in flows:
+            splits: Dict[int, Dict[Direction, float]] = {}
+            if flow.rate == 0.0 or flow.src == flow.dst:
+                per_flow_splits.append(splits)
+                continue
+            # Process nodes in decreasing distance from dst: minimal
+            # routing guarantees each hop reduces the distance, so every
+            # node's inflow is complete by the time it is expanded.
+            pending: Dict[int, float] = {flow.src: flow.rate}
+            while pending:
+                node = max(
+                    pending, key=lambda n: topo.mesh.manhattan(n, flow.dst)
+                )
+                rate = pending.pop(node)
+                router_load[node] += rate
+                if node == flow.dst:
+                    continue
+                weights = self._routing.weights(
+                    topo, node, flow.dst, contexts[node]
+                )
+                total = sum(weights.values())
+                if total <= 0:
+                    continue
+                node_split: Dict[Direction, float] = {}
+                for d, w in weights.items():
+                    share = rate * w / total
+                    if share <= 0:
+                        continue
+                    node_split[d] = share
+                    link = (node, d)
+                    link_load[link] = link_load.get(link, 0.0) + share
+                    nxt = topo.neighbor(node, d)
+                    pending[nxt] = pending.get(nxt, 0.0) + share
+                splits[node] = node_split
+            per_flow_splits.append(splits)
+        return link_load, router_load, per_flow_splits
+
+    def _flow_latency(
+        self,
+        flow: Flow,
+        splits: Dict[int, Dict[Direction, float]],
+        link_rho: Dict[Tuple[int, Direction], float],
+        per_hop_cycles: float,
+    ) -> FlowStats:
+        if flow.src == flow.dst or flow.rate == 0.0 or not splits:
+            return FlowStats(avg_hops=0.0, header_latency_cycles=0.0, max_rho=0.0)
+        # Dynamic programming from dst outward over the split DAG.
+        hops: Dict[int, float] = {flow.dst: 0.0}
+        lat: Dict[int, float] = {flow.dst: 0.0}
+        worst: Dict[int, float] = {flow.dst: 0.0}
+        nodes = sorted(
+            splits, key=lambda n: self._topo.mesh.manhattan(n, flow.dst)
+        )
+        for node in nodes:
+            node_split = splits[node]
+            total = sum(node_split.values())
+            if total <= 0:
+                continue
+            h = l = 0.0
+            w_max = 0.0
+            for d, share in node_split.items():
+                nxt = self._topo.neighbor(node, d)
+                rho = link_rho.get((node, d), 0.0)
+                queue = rho / (2.0 * (1.0 - min(rho, RHO_MAX)))
+                frac = share / total
+                h += frac * (1.0 + hops.get(nxt, 0.0))
+                l += frac * (per_hop_cycles + queue + lat.get(nxt, 0.0))
+                w_max = max(w_max, rho, worst.get(nxt, 0.0))
+            hops[node] = h
+            lat[node] = l
+            worst[node] = w_max
+        return FlowStats(
+            avg_hops=hops.get(flow.src, 0.0),
+            header_latency_cycles=lat.get(flow.src, 0.0),
+            max_rho=worst.get(flow.src, 0.0),
+        )

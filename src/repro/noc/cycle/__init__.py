@@ -1,0 +1,21 @@
+"""Flit-level cycle-based NoC simulator.
+
+Input-buffered wormhole routers with credit flow control and pluggable
+routing.  Used for the micro-experiments (buffer-threshold ablation for
+PANR's B parameter, routing-policy latency comparisons) and to validate
+the analytical model; the long Fig. 6-8 sweeps use
+:mod:`repro.noc.analytical` instead.
+"""
+
+from repro.noc.cycle.packets import Flit, Packet
+from repro.noc.cycle.router import Router
+from repro.noc.cycle.simulator import CycleNocSimulator, NocSimStats, TrafficFlow
+
+__all__ = [
+    "Flit",
+    "Packet",
+    "Router",
+    "CycleNocSimulator",
+    "NocSimStats",
+    "TrafficFlow",
+]

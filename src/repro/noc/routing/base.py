@@ -1,0 +1,91 @@
+"""Routing algorithm interface shared by the cycle and analytical models.
+
+A routing algorithm answers two questions at each router:
+
+* ``permissible(cur, dst)`` - which output directions keep the route
+  minimal and deadlock-free;
+* ``weights(cur, dst, ctx)`` - how to distribute traffic over those
+  directions given the router's local view (buffer occupancy, neighbour
+  data rates, neighbour PSN sensor readings).
+
+The cycle-level simulator picks the argmax-weight direction per packet;
+the analytical model splits flows fractionally by the same weights, so
+both models express one policy.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.noc.topology import Direction, MeshTopology
+
+
+@dataclass
+class RoutingContext:
+    """Local state a router consults when selecting among directions.
+
+    Attributes:
+        buffer_occupancy: Occupancy of the input channel making the
+            decision, as a fraction of buffer depth in [0, 1].
+        neighbor_data_rate: Incoming data rate (flits/cycle) observed at
+            the adjacent router in each direction.
+        neighbor_psn_pct: PSN sensor reading (percent of Vdd) of the
+            adjacent tile in each direction.
+        out_link_rho: Utilisation of this router's outgoing link per
+            direction.  Credit-based flow control stalls flits towards a
+            backed-up neighbour no matter which direction the policy
+            prefers, so adaptive weights are gated by it.
+    """
+
+    buffer_occupancy: float = 0.0
+    neighbor_data_rate: Dict[Direction, float] = field(default_factory=dict)
+    neighbor_psn_pct: Dict[Direction, float] = field(default_factory=dict)
+    out_link_rho: Dict[Direction, float] = field(default_factory=dict)
+
+
+class RoutingAlgorithm(abc.ABC):
+    """Base class for minimal mesh routing policies."""
+
+    #: Evaluation name (e.g. ``"XY"``), used in experiment tables.
+    name: str = "base"
+
+    @abc.abstractmethod
+    def permissible(
+        self, topo: MeshTopology, cur: int, dst: int
+    ) -> List[Direction]:
+        """Permitted output directions at ``cur`` for a packet to ``dst``.
+
+        Returns an empty list when ``cur == dst`` (eject locally).
+        """
+
+    def weights(
+        self,
+        topo: MeshTopology,
+        cur: int,
+        dst: int,
+        ctx: RoutingContext,
+    ) -> Dict[Direction, float]:
+        """Traffic-split weights over the permissible directions.
+
+        The default policy is uniform; adaptive schemes override this.
+        Weights are positive and need not be normalised.
+        """
+        dirs = self.permissible(topo, cur, dst)
+        return {d: 1.0 for d in dirs}
+
+    def select(
+        self,
+        topo: MeshTopology,
+        cur: int,
+        dst: int,
+        ctx: RoutingContext,
+    ) -> Direction:
+        """Single-direction choice (cycle model): highest weight wins,
+        ties broken by direction order for determinism."""
+        weights = self.weights(topo, cur, dst, ctx)
+        if not weights:
+            return Direction.LOCAL
+        order = list(Direction)
+        return max(weights, key=lambda d: (weights[d], -order.index(d)))

@@ -1,0 +1,109 @@
+"""Mesh NoC topology: directions, ports and neighbour lookup.
+
+Coordinates follow :class:`repro.chip.mesh.MeshGeometry`: x grows EAST,
+y grows SOUTH (row-major tile ids).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.chip.mesh import MeshGeometry
+
+
+class Direction(enum.Enum):
+    """Router port directions; LOCAL is the tile's injection/ejection port."""
+
+    LOCAL = "local"
+    EAST = "east"
+    WEST = "west"
+    NORTH = "north"
+    SOUTH = "south"
+
+    @property
+    def offset(self) -> Tuple[int, int]:
+        return _OFFSETS[self]
+
+    @property
+    def opposite(self) -> "Direction":
+        return _OPPOSITES[self]
+
+
+_OFFSETS = {
+    Direction.LOCAL: (0, 0),
+    Direction.EAST: (1, 0),
+    Direction.WEST: (-1, 0),
+    Direction.NORTH: (0, -1),
+    Direction.SOUTH: (0, 1),
+}
+
+_OPPOSITES = {
+    Direction.LOCAL: Direction.LOCAL,
+    Direction.EAST: Direction.WEST,
+    Direction.WEST: Direction.EAST,
+    Direction.NORTH: Direction.SOUTH,
+    Direction.SOUTH: Direction.NORTH,
+}
+
+#: The four mesh directions (excluding LOCAL).
+MESH_DIRECTIONS = (
+    Direction.EAST,
+    Direction.WEST,
+    Direction.NORTH,
+    Direction.SOUTH,
+)
+
+
+class MeshTopology:
+    """Port-level view of a tile mesh for NoC models."""
+
+    def __init__(self, mesh: MeshGeometry):
+        self._mesh = mesh
+        self._neighbors: Dict[int, Dict[Direction, int]] = {}
+        for tile in mesh.tiles():
+            x, y = mesh.coord_of(tile)
+            table: Dict[Direction, int] = {}
+            for d in MESH_DIRECTIONS:
+                dx, dy = d.offset
+                coord = (x + dx, y + dy)
+                if mesh.contains(coord):
+                    table[d] = mesh.tile_at(coord)
+            self._neighbors[tile] = table
+
+    @property
+    def mesh(self) -> MeshGeometry:
+        return self._mesh
+
+    def neighbor(self, tile: int, direction: Direction) -> Optional[int]:
+        """Neighbouring tile in a direction, or None at the mesh edge."""
+        if direction is Direction.LOCAL:
+            return tile
+        return self._neighbors[tile].get(direction)
+
+    def out_directions(self, tile: int) -> List[Direction]:
+        """Mesh directions with a neighbour (2-4 of them)."""
+        return list(self._neighbors[tile])
+
+    def direction_towards(self, src: int, dst: int) -> List[Direction]:
+        """Productive (distance-reducing) directions from src to dst."""
+        sx, sy = self._mesh.coord_of(src)
+        dx, dy = self._mesh.coord_of(dst)
+        dirs: List[Direction] = []
+        if dx > sx:
+            dirs.append(Direction.EAST)
+        elif dx < sx:
+            dirs.append(Direction.WEST)
+        if dy > sy:
+            dirs.append(Direction.SOUTH)
+        elif dy < sy:
+            dirs.append(Direction.NORTH)
+        return dirs
+
+    def links(self) -> List[Tuple[int, Direction]]:
+        """All unidirectional links as ``(src_tile, direction)`` pairs."""
+        return [
+            (tile, d)
+            for tile, table in self._neighbors.items()
+            for d in table
+        ]

@@ -1,0 +1,61 @@
+"""On-die digital PSN sensor network (after Sadi et al. [16]).
+
+The paper assumes a network of digital sensor macros that measure the
+runtime PSN level at every core and NoC router; PARM's mapping feedback
+and the PANR routing scheme consume *sensor readings*, not ground truth.
+This module models the two non-idealities that matter at the system
+level: quantisation (digital sensors report in LSB steps) and saturation
+(a finite full-scale range).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass
+class SensorNetwork:
+    """Quantised per-tile PSN readings.
+
+    Attributes:
+        lsb_pct: Quantisation step in percent of Vdd (default 0.25 %,
+            i.e. ~1 mV resolution at 0.4 V NTC supply).
+        full_scale_pct: Saturation level in percent of Vdd.
+    """
+
+    lsb_pct: float = 0.25
+    full_scale_pct: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.lsb_pct <= 0:
+            raise ValueError("lsb_pct must be positive")
+        if self.full_scale_pct <= self.lsb_pct:
+            raise ValueError("full_scale_pct must exceed lsb_pct")
+        self._readings: Dict[int, float] = {}
+
+    def read(self, true_psn_pct: float) -> float:
+        """Quantise and clamp one true PSN value (percent of Vdd)."""
+        clamped = min(max(true_psn_pct, 0.0), self.full_scale_pct)
+        return round(clamped / self.lsb_pct) * self.lsb_pct
+
+    def read_array(self, true_psn_pct: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`read`."""
+        clamped = np.clip(np.asarray(true_psn_pct, dtype=float), 0.0, self.full_scale_pct)
+        return np.round(clamped / self.lsb_pct) * self.lsb_pct
+
+    def update(self, tile: int, true_psn_pct: float) -> float:
+        """Store and return the quantised reading for a tile."""
+        value = self.read(true_psn_pct)
+        self._readings[tile] = value
+        return value
+
+    def latest(self, tile: int) -> float:
+        """Most recent reading for a tile (0 if never sampled)."""
+        return self._readings.get(tile, 0.0)
+
+    def snapshot(self) -> Dict[int, float]:
+        """Copy of all current readings."""
+        return dict(self._readings)

@@ -1,0 +1,193 @@
+"""Transient ("SPICE-level") PSN analysis of one power-supply domain.
+
+Runs the MNA solver on the Fig. 2 domain PDN with workload current
+waveforms and extracts the paper's Eq. (1) noise metric per tile:
+
+    PSN_i(t) = (Vbump - V_tile_i(t)) / Vbump
+
+reported as peak and average percentages over the analysis window.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.chip.technology import TechnologyNode
+from repro.pdn.builder import TILE_NODES, DomainPdnBuilder
+from repro.pdn.waveforms import ActivityBin, CurrentWaveform, TileLoad
+
+#: Phase jitter between same-bin threads of one application, seconds.
+#: Same-bin threads run barrier-synchronised code, so their current bursts
+#: are *nearly* aligned: the k-th thread of a bin group lags by k times
+#: this jitter.  Nearly-aligned neighbours sag together and exchange only
+#: a fraction of their noise through the on-chip grid, whereas cross-bin
+#: neighbours burst at different frequencies (120 vs 75 MHz) and therefore
+#: sweep through worst-case edge alignment within one analysis window -
+#: the mechanism behind the paper's Fig. 3b observation that High-Low
+#: neighbours interfere the most.
+SAME_BIN_JITTER_S = 0.6e-9
+
+#: How strongly task burst rates track the clock frequency.  Program
+#: phases (loops, cache-miss bursts, barrier cadence) slow down with the
+#: core clock, but not fully - memory-bound cadence does not scale - so
+#: the burst frequency follows (f(Vdd) / f(Vnominal)) ** 0.5.  This is
+#: the paper's own explanation of Fig. 3a: the supply voltage "decides
+#: the maximum operating frequency Fmax of cores and routers", which in
+#: turn drives di/dt and hence peak PSN.
+CLOCK_TRACKING_EXPONENT = 0.5
+
+
+def clock_burst_scale(vdd: float, tech: TechnologyNode) -> float:
+    """Burst-frequency multiplier for a domain running at ``vdd``."""
+    from repro.chip.dvfs import alpha_power_frequency
+
+    ratio = alpha_power_frequency(vdd, tech) / tech.freq_at_nominal_hz
+    return ratio ** CLOCK_TRACKING_EXPONENT
+
+
+def apply_phase_convention(
+    loads: Sequence[TileLoad], burst_scale: float = 1.0
+) -> List[TileLoad]:
+    """Assign canonical burst phases to the tasks of one domain.
+
+    Within each activity-bin group, the k-th task (in position order)
+    gets a phase lag of ``k * SAME_BIN_JITTER_S``; all tasks burst at
+    their bin's nominal frequency times ``burst_scale`` (the domain's
+    clock-tracking factor).  Idle tiles are returned unchanged.
+    """
+    if burst_scale <= 0:
+        raise ValueError("burst_scale must be positive")
+    counters = {bin_: 0 for bin_ in ActivityBin}
+    out: List[TileLoad] = []
+    for load in loads:
+        if load.total_power_w == 0.0:
+            out.append(load)
+            continue
+        k = counters[load.activity_bin]
+        counters[load.activity_bin] += 1
+        out.append(
+            dataclasses.replace(
+                load, phase_s=k * SAME_BIN_JITTER_S, freq_scale=burst_scale
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class DomainPsnReport:
+    """Per-tile PSN extracted from one domain transient analysis.
+
+    Attributes:
+        vdd: Domain supply voltage in volts.
+        peak_psn_pct: Peak PSN per tile, percent of Vdd, shape (4,).
+        avg_psn_pct: Time-average PSN per tile, percent of Vdd, shape (4,).
+    """
+
+    vdd: float
+    peak_psn_pct: np.ndarray
+    avg_psn_pct: np.ndarray
+
+    @property
+    def domain_peak_pct(self) -> float:
+        """Worst peak PSN across the four tiles."""
+        return float(np.max(self.peak_psn_pct))
+
+    @property
+    def domain_avg_pct(self) -> float:
+        """Mean of the per-tile average PSN."""
+        return float(np.mean(self.avg_psn_pct))
+
+
+class PsnTransientAnalysis:
+    """Transient PSN analyser for 2x2 power domains.
+
+    Args:
+        tech: Technology node (PDN parasitics).
+        window_s: Analysis window; must cover several beat periods of the
+            High/Low burst frequencies (default 300 ns).
+        dt_s: Integration timestep (default 50 ps, ~7 points per burst
+            edge at the High bin's sharpness).
+    """
+
+    def __init__(
+        self,
+        tech: TechnologyNode,
+        window_s: float = 300e-9,
+        dt_s: float = 50e-12,
+    ):
+        if window_s <= 0 or dt_s <= 0 or dt_s >= window_s:
+            raise ValueError("require 0 < dt_s < window_s")
+        self._tech = tech
+        self._builder = DomainPdnBuilder(tech)
+        self._window_s = window_s
+        self._dt_s = dt_s
+
+    @property
+    def tech(self) -> TechnologyNode:
+        return self._tech
+
+    def analyze(
+        self,
+        vdd: float,
+        loads: Sequence[TileLoad],
+        apply_convention: bool = True,
+    ) -> DomainPsnReport:
+        """Simulate one domain and report per-tile PSN.
+
+        Args:
+            vdd: Domain supply voltage.
+            loads: Exactly four tile workloads (use
+                :meth:`TileLoad.idle` for dark tiles).
+            apply_convention: When true (default), task phases follow the
+                canonical :func:`apply_phase_convention` (same-bin threads
+                nearly aligned, cross-bin threads free-running).  Pass
+                false to control phases explicitly through the loads.
+        """
+        if len(loads) != len(TILE_NODES):
+            raise ValueError(f"expected {len(TILE_NODES)} tile loads")
+        if apply_convention:
+            loads = apply_phase_convention(
+                loads, burst_scale=clock_burst_scale(vdd, self._tech)
+            )
+        currents = [CurrentWaveform(load, vdd) for load in loads]
+        circuit = self._builder.build(vdd, currents)
+        result = circuit.transient(self._window_s, self._dt_s)
+
+        peaks = np.empty(len(TILE_NODES))
+        avgs = np.empty(len(TILE_NODES))
+        for i, node in enumerate(TILE_NODES):
+            v = result.voltage(node)
+            psn_pct = (vdd - v) / vdd * 100.0
+            # Droop (undershoot) is the reliability hazard; overshoot is
+            # clipped as in the paper's percent-noise plots.
+            psn_pct = np.clip(psn_pct, 0.0, None)
+            peaks[i] = float(np.max(psn_pct))
+            avgs[i] = float(np.mean(psn_pct))
+        return DomainPsnReport(vdd=vdd, peak_psn_pct=peaks, avg_psn_pct=avgs)
+
+    def pair_analysis(
+        self,
+        vdd: float,
+        load_a: TileLoad,
+        load_b: TileLoad,
+        hops: int,
+    ) -> DomainPsnReport:
+        """Analyse a two-task placement at 1 or 2 hops (Fig. 3b setup).
+
+        Tiles 0 and 1 of the 2x2 block are one hop apart (direct grid
+        segment); tiles 0 and 3 are diagonal, i.e. two hops.
+        """
+        if hops == 1:
+            positions = (0, 1)
+        elif hops == 2:
+            positions = (0, 3)
+        else:
+            raise ValueError("hops must be 1 or 2 within a 2x2 domain")
+        loads = [TileLoad.idle() for _ in TILE_NODES]
+        loads[positions[0]] = load_a
+        loads[positions[1]] = load_b
+        return self.analyze(vdd, loads)

@@ -1,0 +1,22 @@
+"""Runtime system: chip occupancy state and the discrete-event simulator.
+
+Models the OS/middleware layer the paper assumes PARM lives in
+(Section 5.1): applications arrive in a FCFS service queue, the manager
+assigns Vdd/DoP/mapping, tiles are occupied for the application's
+lifetime, PSN is sampled periodically, voltage emergencies trigger
+checkpoint rollbacks, and completed/dropped applications are accounted.
+"""
+
+from repro.runtime.state import ChipState, TileOccupant
+from repro.runtime.checkpoint import CheckpointPolicy
+from repro.runtime.metrics import AppRecord, RunMetrics
+from repro.runtime.simulator import RuntimeSimulator
+
+__all__ = [
+    "ChipState",
+    "TileOccupant",
+    "CheckpointPolicy",
+    "AppRecord",
+    "RunMetrics",
+    "RuntimeSimulator",
+]

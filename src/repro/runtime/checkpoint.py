@@ -1,0 +1,54 @@
+"""Checkpoint/rollback fault-handling cost model (paper Sections 4.5, 5.1).
+
+Applications are checkpointed periodically so that a voltage emergency
+(VE) can be corrected by rolling back to the last checkpoint.  The paper
+assumes a 1 ms checkpoint period with ~256 cycles of checkpointing
+overhead, and ~10000 cycles to restore state after an error.  A rollback
+additionally re-executes the work done since the last checkpoint - half
+a period in expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Costs of periodic checkpointing and VE-triggered rollbacks.
+
+    Attributes:
+        period_s: Checkpoint interval in seconds.
+        checkpoint_cycles: Overhead of taking one checkpoint.
+        rollback_cycles: Overhead of restoring state after an error.
+    """
+
+    period_s: float = 1e-3
+    checkpoint_cycles: float = 256.0
+    rollback_cycles: float = 10000.0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if self.checkpoint_cycles < 0 or self.rollback_cycles < 0:
+            raise ValueError("overheads must be non-negative")
+
+    def execution_dilation(self, frequency_hz: float) -> float:
+        """Multiplier on execution time from periodic checkpointing.
+
+        One checkpoint of ``checkpoint_cycles`` is taken every period.
+        """
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        overhead_s = self.checkpoint_cycles / frequency_hz
+        return 1.0 + overhead_s / self.period_s
+
+    def rollback_penalty_s(self, frequency_hz: float) -> float:
+        """Wall-clock time lost to one voltage emergency.
+
+        Restore overhead plus the expected half checkpoint period of
+        re-executed work.
+        """
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        return self.rollback_cycles / frequency_hz + 0.5 * self.period_s

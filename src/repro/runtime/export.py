@@ -1,0 +1,109 @@
+"""Tabular export of runtime results (CSV) for downstream analysis.
+
+The experiment harness prints paper-style tables; this module gives
+users machine-readable output: one row per application with its full
+lifecycle, plus a one-row run summary.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import List, Sequence
+
+from repro.runtime.metrics import RunMetrics
+
+#: Columns of the per-application table, in order.
+APP_COLUMNS = (
+    "app_id",
+    "benchmark",
+    "arrival_s",
+    "deadline_s",
+    "mapped_s",
+    "vdd",
+    "dop",
+    "ve_count",
+    "finished_s",
+    "dropped_s",
+    "status",
+)
+
+
+def app_records_rows(metrics: RunMetrics) -> List[List]:
+    """Per-application rows (header excluded), ordered by app id."""
+    rows: List[List] = []
+    for app_id in sorted(metrics.apps):
+        rec = metrics.apps[app_id]
+        if rec.completed:
+            status = "completed" if rec.met_deadline else "late"
+        elif rec.dropped:
+            status = "dropped"
+        else:
+            status = "unfinished"
+        rows.append(
+            [
+                rec.app_id,
+                rec.name,
+                rec.arrival_s,
+                rec.deadline_s,
+                rec.mapped_s,
+                rec.vdd,
+                rec.dop,
+                rec.ve_count,
+                rec.finished_s,
+                rec.dropped_s,
+                status,
+            ]
+        )
+    return rows
+
+
+def app_records_csv(metrics: RunMetrics) -> str:
+    """The per-application table as a CSV string (with header)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(APP_COLUMNS)
+    writer.writerows(app_records_rows(metrics))
+    return buffer.getvalue()
+
+
+def write_app_records_csv(metrics: RunMetrics, path: str) -> None:
+    """Write :func:`app_records_csv` to a file."""
+    with open(path, "w", newline="") as handle:
+        handle.write(app_records_csv(metrics))
+
+
+def run_summary_csv(results: Sequence, header: bool = True) -> str:
+    """Summaries of several :class:`~repro.exp.runner.FrameworkResult`
+    objects as CSV (framework, workload, arrival, totals)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    if header:
+        writer.writerow(
+            [
+                "framework",
+                "workload",
+                "arrival_interval_s",
+                "total_time_s",
+                "peak_psn_pct",
+                "avg_psn_pct",
+                "completed",
+                "dropped",
+                "ve_count",
+            ]
+        )
+    for r in results:
+        writer.writerow(
+            [
+                r.framework,
+                r.workload,
+                r.arrival_interval_s,
+                r.total_time_s,
+                r.peak_psn_pct,
+                r.avg_psn_pct,
+                r.completed,
+                r.dropped,
+                r.ve_count,
+            ]
+        )
+    return buffer.getvalue()

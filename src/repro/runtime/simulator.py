@@ -1,0 +1,536 @@
+"""Discrete-event runtime simulator: the paper's experiment loop.
+
+Drives one workload sequence through one (mapper, router) framework
+combination and produces the Fig. 6/7/8 metrics:
+
+* applications arrive into a FCFS service queue; the resource manager
+  assigns Vdd, DoP and a task-to-tile mapping (PARM Algorithm 1+2, or
+  the HM baseline);
+* mapped applications execute for an estimated time that accounts for
+  parallelism, frequency at the chosen Vdd, NoC contention under the
+  chosen routing scheme (flow-based analytical model) and periodic
+  checkpointing overhead;
+* power-supply noise is evaluated per power domain with the calibrated
+  fast PSN model whenever the chip's occupancy or traffic changes; tiles
+  whose peak PSN exceeds the 5 % margin suffer voltage emergencies at a
+  rate growing with the exceedance, each costing a rollback penalty;
+* an application whose deadline can no longer be met by any operating
+  point is dropped (the paper's stagnation-avoidance rule).
+
+All randomness (VE sampling) comes from one seeded generator, so runs
+are reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.performance import PerformanceModel
+from repro.apps.profiles import FLIT_PAYLOAD_BYTES
+from repro.apps.workload import ApplicationArrival
+from repro.chip.cmp import ChipDescription
+from repro.noc.analytical import AnalyticalNocModel, Flow
+from repro.noc.routing.base import RoutingAlgorithm
+from repro.noc.topology import MeshTopology
+from repro.pdn.emergencies import VoltageEmergencyPolicy
+from repro.pdn.fast import FastPsnModel
+from repro.pdn.sensors import SensorNetwork
+from repro.pdn.waveforms import ActivityBin, TileLoad
+from repro.runtime.checkpoint import CheckpointPolicy
+from repro.runtime.metrics import AppRecord, RunMetrics
+from repro.runtime.migration import (
+    MigrationPolicy,
+    ReactiveMigrationPolicy,
+    moved_task_count,
+    pick_migration_target,
+    plan_compaction,
+)
+from repro.runtime.state import ChipState
+
+if TYPE_CHECKING:  # avoid a circular import with repro.core
+    from repro.core.base import MappingDecision, ResourceManager
+
+_ARRIVAL = 0
+_EXIT = 1
+
+
+@dataclass
+class _RunningApp:
+    arrival: ApplicationArrival
+    decision: MappingDecision
+    record: AppRecord
+    exec_time_s: float
+    remaining_s: float
+    exit_version: int = 0
+
+
+class RuntimeSimulator:
+    """Simulates one framework combination over one workload sequence.
+
+    Args:
+        chip: Platform description.
+        manager: Resource manager (PARM or HM).
+        routing: NoC routing algorithm (XY, ICON or PANR).
+        ve_policy: Voltage-emergency rate model.
+        checkpoints: Checkpoint/rollback cost model.
+        sensors: PSN sensor quantisation (routing and the manager see
+            sensor values; VE sampling uses the true noise).
+        migration: When set, fragmentation that blocks the queue head
+            triggers migration-based compaction (an extension; see
+            :mod:`repro.runtime.migration`).
+        reactive_migration: When set, a sensor reading over the trigger
+            threshold migrates the offending thread to a quieter tile
+            (the Orchestrator-style baseline's back end).
+        record_trace: When true, the returned metrics carry a
+            ``(time, chip peak PSN, occupied tiles)`` snapshot per
+            scheduling event (for time-series analysis and plotting).
+        seed: RNG seed for VE sampling.
+        max_sim_time_s: Safety horizon; the run aborts past it.
+    """
+
+    def __init__(
+        self,
+        chip: ChipDescription,
+        manager: ResourceManager,
+        routing: RoutingAlgorithm,
+        ve_policy: Optional[VoltageEmergencyPolicy] = None,
+        checkpoints: Optional[CheckpointPolicy] = None,
+        sensors: Optional[SensorNetwork] = None,
+        migration: Optional[MigrationPolicy] = None,
+        reactive_migration: Optional[ReactiveMigrationPolicy] = None,
+        seed: int = 0,
+        max_sim_time_s: float = 600.0,
+        record_trace: bool = False,
+    ):
+        self._chip = chip
+        self._manager = manager
+        self._routing = routing
+        self._ve_policy = ve_policy or VoltageEmergencyPolicy()
+        self._checkpoints = checkpoints or CheckpointPolicy()
+        self._sensors = sensors or SensorNetwork()
+        self._migration = migration
+        self._reactive = reactive_migration
+        self._record_trace = record_trace
+        self._rng = np.random.default_rng(seed)
+        self._max_time = max_sim_time_s
+        self._noc = AnalyticalNocModel(MeshTopology(chip.mesh), routing)
+        self._psn_model = FastPsnModel()
+        self._performance = PerformanceModel(chip.power_model)
+
+    # ------------------------------------------------------------------
+
+    def run(self, arrivals: Sequence[ApplicationArrival]) -> RunMetrics:
+        """Execute one workload sequence to completion."""
+        state = ChipState(self._chip)
+        metrics = RunMetrics()
+        running: Dict[int, _RunningApp] = {}
+        queue: List[ApplicationArrival] = []
+
+        heap: List[Tuple[float, int, int, int, int]] = []
+        seq = 0
+        for a in arrivals:
+            metrics.apps[a.app_id] = AppRecord(
+                app_id=a.app_id,
+                name=a.profile.name,
+                arrival_s=a.arrival_s,
+                deadline_s=a.deadline_s,
+            )
+            heapq.heappush(heap, (a.arrival_s, seq, _ARRIVAL, a.app_id, 0))
+            seq += 1
+        arrivals_by_id = {a.app_id: a for a in arrivals}
+
+        # Current chip-wide PSN view (true and sensor-quantised).
+        peak_psn = np.zeros(self._chip.tile_count)
+        avg_psn = np.zeros(self._chip.tile_count)
+        sensor_psn = np.zeros(self._chip.tile_count)
+
+        move_cooldown: Dict[int, float] = {}
+        now = 0.0
+        while heap:
+            t, _, kind, app_id, version = heapq.heappop(heap)
+            if t > self._max_time:
+                break
+            dt = t - now
+
+            # ---- account the elapsed interval -------------------------
+            occupied = [
+                tile for tile in self._chip.mesh.tiles() if state.occupant(tile)
+            ]
+            metrics.record_psn_interval(
+                dt,
+                [float(avg_psn[tile]) for tile in occupied],
+                float(np.max(peak_psn)) if occupied else 0.0,
+            )
+            if self._record_trace:
+                metrics.trace.append(
+                    (now, float(np.max(peak_psn)), len(occupied))
+                )
+            ve_hit = self._sample_emergencies(
+                dt, state, running, peak_psn, metrics
+            )
+            for app in running.values():
+                app.remaining_s = max(0.0, app.remaining_s - dt)
+            now = t
+
+            # ---- handle the event --------------------------------------
+            occupancy_changed = False
+            if kind == _ARRIVAL:
+                queue.append(arrivals_by_id[app_id])
+            elif kind == _EXIT:
+                app = running.get(app_id)
+                if app is None or app.exit_version != version:
+                    pass  # stale exit
+                elif app.remaining_s <= 1e-9:
+                    state.release(app_id)
+                    app.record.finished_s = now
+                    metrics.total_time_s = max(metrics.total_time_s, now)
+                    del running[app_id]
+                    occupancy_changed = True
+                # Otherwise a VE pushed the finish out; rescheduled below.
+
+            # ---- serve the FCFS queue ----------------------------------
+            while queue:
+                head = queue[0]
+                record = metrics.apps[head.app_id]
+                if not self._still_feasible(head, now):
+                    record.dropped_s = now
+                    queue.pop(0)
+                    continue
+                decision = self._manager.try_map(
+                    head.profile, head.deadline_s - now, state
+                )
+                if decision is None and self._migration is not None:
+                    decision = self._try_compaction(
+                        state, running, head, now, metrics
+                    )
+                if decision is None:
+                    break  # FCFS: the head blocks until resources free up
+                state.occupy(
+                    head.app_id,
+                    decision.task_to_tile,
+                    decision.vdd,
+                    decision.power_w,
+                )
+                record.mapped_s = now
+                record.vdd = decision.vdd
+                record.dop = decision.dop
+                running[head.app_id] = _RunningApp(
+                    arrival=head,
+                    decision=decision,
+                    record=record,
+                    exec_time_s=0.0,  # set by the refresh below
+                    remaining_s=0.0,
+                )
+                queue.pop(0)
+                occupancy_changed = True
+
+            # ---- refresh NoC + PSN + execution estimates ----------------
+            if occupancy_changed:
+                peak_psn, avg_psn, sensor_psn = self._refresh(
+                    state, running, sensor_psn
+                )
+                reschedule = set(running)
+            else:
+                reschedule = ve_hit
+
+            # ---- reactive hotspot migration (extension) ----------------
+            if self._reactive is not None and running:
+                moved = self._reactive_move(
+                    state, running, sensor_psn, now, metrics, move_cooldown
+                )
+                if moved:
+                    peak_psn, avg_psn, sensor_psn = self._refresh(
+                        state, running, sensor_psn
+                    )
+                    reschedule = set(running)
+
+            for aid in reschedule:
+                app = running.get(aid)
+                if app is None:
+                    continue
+                app.exit_version += 1
+                heapq.heappush(
+                    heap,
+                    (now + app.remaining_s, seq, _EXIT, aid, app.exit_version),
+                )
+                seq += 1
+
+        return metrics
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _reactive_move(
+        self,
+        state: ChipState,
+        running: Dict[int, _RunningApp],
+        sensor_psn: np.ndarray,
+        now: float,
+        metrics: RunMetrics,
+        cooldown: Dict[int, float],
+    ) -> bool:
+        """Move the thread on the noisiest over-threshold tile.
+
+        Returns True when a migration happened.
+        """
+        policy = self._reactive
+        if metrics.reactive_move_count >= policy.max_moves:
+            return False
+        # Noisiest occupied tile above the trigger whose app is off
+        # cooldown.
+        best_tile, best_level = None, policy.trigger_pct
+        for tile in self._chip.mesh.tiles():
+            occ = state.occupant(tile)
+            if occ is None:
+                continue
+            level = float(sensor_psn[tile])
+            if level <= best_level:
+                continue
+            last = cooldown.get(occ.app_id)
+            if last is not None and now - last < policy.cooldown_s:
+                continue
+            best_tile, best_level = tile, level
+        if best_tile is None:
+            return False
+        occ = state.occupant(best_tile)
+        app = running.get(occ.app_id)
+        if app is None:
+            return False
+        target = pick_migration_target(state, best_tile, occ.vdd)
+        if target is None:
+            return False
+        state.move_task(occ.app_id, occ.task_id, target)
+        new_map = dict(app.decision.task_to_tile)
+        new_map[occ.task_id] = target
+        import dataclasses as _dc
+
+        app.decision = _dc.replace(app.decision, task_to_tile=new_map)
+        app.remaining_s += policy.per_task_cost_s
+        app.record.migrated_tasks += 1
+        metrics.reactive_move_count += 1
+        cooldown[occ.app_id] = now
+        return True
+
+    def _try_compaction(
+        self,
+        state: ChipState,
+        running: Dict[int, _RunningApp],
+        head: ApplicationArrival,
+        now: float,
+        metrics: RunMetrics,
+    ):
+        """Defragment via migration so the queue head can map.
+
+        Returns the head's mapping decision when compaction succeeds
+        (with the chip state already rewritten and migration penalties
+        charged), else ``None``.
+        """
+        if not running:
+            return None
+        if metrics.compaction_count >= self._migration.max_compactions:
+            return None
+        replacements = plan_compaction(
+            state,
+            {
+                aid: (app.arrival.profile, app.decision)
+                for aid, app in running.items()
+            },
+        )
+        if replacements is None:
+            return None
+        trial = ChipState(self._chip)
+        for aid, new in replacements.items():
+            trial.occupy(aid, new.task_to_tile, new.vdd, new.power_w)
+        head_decision = self._manager.try_map(
+            head.profile, head.deadline_s - now, trial
+        )
+        if head_decision is None:
+            return None  # fragmentation was not the blocker
+
+        # Commit: rewrite the real occupancy and charge moved threads.
+        for aid in list(running):
+            state.release(aid)
+        for aid, new in replacements.items():
+            state.occupy(aid, new.task_to_tile, new.vdd, new.power_w)
+            app = running[aid]
+            moved = moved_task_count(app.decision, new)
+            app.decision = new
+            app.remaining_s += moved * self._migration.per_task_cost_s
+            app.record.migrated_tasks += moved
+        metrics.compaction_count += 1
+        return head_decision
+
+    def _still_feasible(self, arrival: ApplicationArrival, now: float) -> bool:
+        """Whether any operating point can still meet the deadline."""
+        profile = arrival.profile
+        slack = arrival.deadline_s - now
+        best = min(
+            profile.wcet_s(v, d)
+            for v in profile.supported_vdds
+            for d in profile.supported_dops
+        )
+        return best < slack
+
+    def _sample_emergencies(
+        self,
+        dt: float,
+        state: ChipState,
+        running: Dict[int, _RunningApp],
+        peak_psn: np.ndarray,
+        metrics: RunMetrics,
+    ) -> set:
+        """Poisson-sample VEs over the elapsed interval; charge rollbacks."""
+        hit = set()
+        if dt <= 0:
+            return hit
+        penalties: Dict[int, float] = {}
+        for tile in self._chip.mesh.tiles():
+            occ = state.occupant(tile)
+            if occ is None:
+                continue
+            count = self._ve_policy.sample_emergencies(
+                float(peak_psn[tile]), dt, self._rng
+            )
+            if count == 0:
+                continue
+            app = running.get(occ.app_id)
+            if app is None:
+                continue
+            freq = self._chip.power_model.frequency(app.decision.vdd)
+            penalties[occ.app_id] = penalties.get(occ.app_id, 0.0) + (
+                count * self._checkpoints.rollback_penalty_s(freq)
+            )
+            app.record.ve_count += count
+            metrics.total_ve_count += count
+            hit.add(occ.app_id)
+        for aid, penalty in penalties.items():
+            # Rollbacks cannot erase more than the elapsed interval:
+            # checkpointing guarantees some forward progress, so at worst
+            # 90 % of the interval is lost to re-execution.
+            running[aid].remaining_s += min(penalty, 0.9 * dt)
+        return hit
+
+    def _refresh(
+        self,
+        state: ChipState,
+        running: Dict[int, _RunningApp],
+        prev_sensor_psn: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Recompute NoC load, PSN and per-app execution estimates."""
+        # --- flows from every running application ----------------------
+        flows: List[Flow] = []
+        flow_app: List[Tuple[int, float]] = []  # (app_id, volume)
+        for aid, app in running.items():
+            d = app.decision
+            graph = app.arrival.profile.graph(d.dop)
+            freq = self._chip.power_model.frequency(d.vdd)
+            base_cycles = app.arrival.profile.wcet_s(d.vdd, d.dop) * freq
+            for src, dst, volume in graph.edges():
+                rate = (volume / FLIT_PAYLOAD_BYTES) / base_cycles
+                flows.append(
+                    Flow(d.task_to_tile[src], d.task_to_tile[dst], rate)
+                )
+                flow_app.append((aid, volume))
+        report = self._noc.evaluate(flows, psn_pct=prev_sensor_psn)
+
+        # --- per-app NoC aggregates -> execution estimates --------------
+        hop_acc: Dict[int, float] = {}
+        scale_max: Dict[int, float] = {}
+        vol_acc: Dict[int, float] = {}
+        for (aid, volume), stats in zip(flow_app, report.flows):
+            hop_acc[aid] = hop_acc.get(aid, 0.0) + volume * stats.avg_hops
+            # The application's makespan follows its *bottleneck* edge:
+            # congestion on any critical-path link stalls the whole
+            # pipeline, so the worst per-flow scale applies.
+            scale_max[aid] = max(scale_max.get(aid, 1.0), stats.latency_scale)
+            vol_acc[aid] = vol_acc.get(aid, 0.0) + volume
+
+        for aid, app in running.items():
+            d = app.decision
+            profile = app.arrival.profile
+            vol = vol_acc.get(aid, 0.0)
+            if vol > 0:
+                avg_hops = max(1.0, hop_acc[aid] / vol)
+                latency_scale = scale_max.get(aid, 1.0)
+            else:
+                avg_hops, latency_scale = 1.0, 1.0
+            freq = self._chip.power_model.frequency(d.vdd)
+            exec_time = self._performance.estimate_wcet_s(
+                profile.graph(d.dop),
+                d.vdd,
+                avg_hops=avg_hops,
+                latency_scale=latency_scale,
+            ) * self._checkpoints.execution_dilation(freq)
+            if app.exec_time_s == 0.0:
+                app.remaining_s = exec_time  # freshly mapped
+            elif exec_time != app.exec_time_s:
+                app.remaining_s *= exec_time / app.exec_time_s
+            app.exec_time_s = exec_time
+
+        # --- PSN per power domain ----------------------------------------
+        peak, avg = self._evaluate_psn(state, running, report)
+        sensor = self._sensors.read_array(peak)
+        return peak, avg, sensor
+
+    def _evaluate_psn(
+        self,
+        state: ChipState,
+        running: Dict[int, _RunningApp],
+        report,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-tile peak/avg PSN from occupancy + router activity."""
+        chip = self._chip
+        power_model = chip.power_model
+        n = chip.tile_count
+        peak = np.zeros(n)
+        avg = np.zeros(n)
+        graphs = {
+            aid: app.arrival.profile.graph(app.decision.dop)
+            for aid, app in running.items()
+        }
+        for domain in range(chip.domain_count):
+            tiles = chip.domains.tiles_of(domain)
+            vdd = state.domain_vdd(domain)
+            # A 5-port router physically switches at most ~4 flits per
+            # cycle; clamp the analytical load before converting to power.
+            router_rates = [
+                min(float(report.router_flits_per_cycle[t]), 4.0)
+                for t in tiles
+            ]
+            if vdd is None:
+                if all(r == 0.0 for r in router_rates):
+                    continue  # fully dark and quiet
+                # Idle domain carrying through-traffic: the NoC keeps its
+                # routers powered at the lowest DVS step.
+                vdd = chip.vdd_ladder.lowest
+            loads = []
+            for tile, r_rate in zip(tiles, router_rates):
+                occ = state.occupant(tile)
+                router_power = (
+                    power_model.router_dynamic(r_rate, vdd)
+                    + power_model.router_leakage(vdd)
+                )
+                if occ is None:
+                    loads.append(
+                        TileLoad(0.0, router_power if r_rate > 0 else 0.0,
+                                 ActivityBin.LOW)
+                    )
+                    continue
+                app = running[occ.app_id]
+                task = graphs[occ.app_id].task(occ.task_id)
+                core_power = power_model.core_dynamic(
+                    task.activity_factor, app.decision.vdd
+                ) + power_model.core_leakage(app.decision.vdd)
+                loads.append(
+                    TileLoad(core_power, router_power, task.activity_bin)
+                )
+            d_peak, d_avg = self._psn_model.domain_psn(vdd, loads)
+            for i, tile in enumerate(tiles):
+                peak[tile] = d_peak[i]
+                avg[tile] = d_avg[i]
+        return peak, avg

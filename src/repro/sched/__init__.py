@@ -1,0 +1,17 @@
+"""Task scheduling: per-task deadline assignment and EDF list scheduling.
+
+After PARM maps an application (Section 4.2), its tasks are scheduled with
+earliest-deadline-first; each task's deadline is derived from the
+application deadline using the critical-path technique of the authors'
+prior work [23].
+"""
+
+from repro.sched.deadlines import assign_task_deadlines
+from repro.sched.edf import EdfSchedule, ScheduledTask, edf_schedule
+
+__all__ = [
+    "assign_task_deadlines",
+    "EdfSchedule",
+    "ScheduledTask",
+    "edf_schedule",
+]

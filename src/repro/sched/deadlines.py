@@ -1,0 +1,67 @@
+"""Per-task deadline (priority) assignment from an application deadline.
+
+Following the critical-path technique of the paper's reference [23]: each
+task's deadline is the application deadline scaled by the task's position
+along its longest (work-weighted) path - a task must finish early enough
+to leave its longest downstream chain enough time.
+
+Concretely, with ``up(t)`` the longest path length from any source up to
+and including ``t`` and ``down(t)`` the longest path length from ``t``
+(exclusive) to any sink::
+
+    deadline(t) = app_deadline * up(t) / (up(t) + down(t))
+
+Tasks on the critical path get ``up + down == critical path length``, so
+their deadlines subdivide the application deadline proportionally to
+progress along the path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.apps.graph import ApplicationGraph
+
+
+def assign_task_deadlines(
+    graph: ApplicationGraph,
+    app_deadline: float,
+    task_time: Callable[[int], float],
+) -> Dict[int, float]:
+    """Map each task id to its deadline.
+
+    Args:
+        graph: The application graph.
+        app_deadline: Deadline of the whole application (seconds, relative
+            to the application's start).
+        task_time: Execution-time estimate of one task (seconds); used as
+            the path weight.
+
+    Returns:
+        Dict of task id to deadline in the same time unit as
+        ``app_deadline``.
+    """
+    if app_deadline <= 0:
+        raise ValueError("app_deadline must be positive")
+    order = graph.topological_order()
+
+    up: Dict[int, float] = {}
+    for t in order:
+        preds = graph.predecessors(t)
+        up[t] = task_time(t) + (max(up[p] for p in preds) if preds else 0.0)
+
+    down: Dict[int, float] = {}
+    for t in reversed(order):
+        succs = graph.successors(t)
+        down[t] = (
+            max(task_time(s) + down[s] for s in succs) if succs else 0.0
+        )
+
+    deadlines: Dict[int, float] = {}
+    for t in order:
+        total = up[t] + down[t]
+        if total <= 0:
+            deadlines[t] = app_deadline
+        else:
+            deadlines[t] = app_deadline * up[t] / total
+    return deadlines

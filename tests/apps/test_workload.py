@@ -1,0 +1,145 @@
+"""Tests for workload sequence generation."""
+
+import pytest
+
+from repro.apps.suite import (
+    COMMUNICATION_BENCHMARKS,
+    COMPUTE_BENCHMARKS,
+    ProfileLibrary,
+)
+from repro.apps.workload import ApplicationArrival, WorkloadType, generate_workload
+
+
+@pytest.fixture(scope="module")
+def library():
+    return ProfileLibrary()
+
+
+class TestWorkloadType:
+    def test_pools(self):
+        assert set(WorkloadType.COMPUTE.pool()) == set(COMPUTE_BENCHMARKS)
+        assert set(WorkloadType.COMMUNICATION.pool()) == set(
+            COMMUNICATION_BENCHMARKS
+        )
+        mixed = WorkloadType.MIXED.pool()
+        assert set(mixed) == set(COMPUTE_BENCHMARKS) | set(COMMUNICATION_BENCHMARKS)
+        assert len(mixed) == len(set(mixed))  # no duplicate entries
+
+
+class TestArrivalValidation:
+    def test_deadline_after_arrival(self, library):
+        profile = library.get("fft")
+        with pytest.raises(ValueError):
+            ApplicationArrival(0, profile, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            ApplicationArrival(0, profile, -1.0, 2.0)
+
+    def test_relative_deadline(self, library):
+        a = ApplicationArrival(0, library.get("fft"), 1.0, 3.5)
+        assert a.relative_deadline_s == pytest.approx(2.5)
+
+
+class TestGeneration:
+    def test_paper_shape(self, library):
+        w = generate_workload(
+            WorkloadType.MIXED, 0.1, n_apps=20, seed=5, library=library
+        )
+        assert len(w) == 20
+        assert [a.arrival_s for a in w] == pytest.approx(
+            [0.1 * i for i in range(20)]
+        )
+        assert all(a.deadline_s > a.arrival_s for a in w)
+
+    def test_group_restriction(self, library):
+        for wtype, pool in (
+            (WorkloadType.COMPUTE, COMPUTE_BENCHMARKS),
+            (WorkloadType.COMMUNICATION, COMMUNICATION_BENCHMARKS),
+        ):
+            w = generate_workload(wtype, 0.1, n_apps=15, seed=2, library=library)
+            assert all(a.profile.name in pool for a in w)
+
+    def test_deterministic(self, library):
+        a = generate_workload(WorkloadType.MIXED, 0.05, seed=9, library=library)
+        b = generate_workload(WorkloadType.MIXED, 0.05, seed=9, library=library)
+        assert [x.profile.name for x in a] == [x.profile.name for x in b]
+        assert [x.deadline_s for x in a] == [x.deadline_s for x in b]
+
+    def test_different_seeds_differ(self, library):
+        a = generate_workload(WorkloadType.MIXED, 0.05, seed=1, library=library)
+        b = generate_workload(WorkloadType.MIXED, 0.05, seed=2, library=library)
+        assert [x.profile.name for x in a] != [x.profile.name for x in b]
+
+    def test_deadlines_allow_some_low_vdd_choice(self, library):
+        """Deadlines must be loose enough that the best high-Vdd point is
+        always feasible, and usually loose enough for something slower."""
+        w = generate_workload(WorkloadType.COMPUTE, 0.1, seed=3, library=library)
+        feasible_at_low = 0
+        for a in w:
+            p = a.profile
+            best_fast = min(p.wcet_s(0.8, d) for d in p.supported_dops)
+            assert a.relative_deadline_s > best_fast
+            best_slow = min(p.wcet_s(0.4, d) for d in p.supported_dops)
+            if a.relative_deadline_s > best_slow:
+                feasible_at_low += 1
+        assert feasible_at_low >= len(w) // 2
+
+    def test_validation(self, library):
+        with pytest.raises(ValueError):
+            generate_workload(WorkloadType.MIXED, 0.0, library=library)
+        with pytest.raises(ValueError):
+            generate_workload(WorkloadType.MIXED, 0.1, n_apps=0, library=library)
+        with pytest.raises(ValueError):
+            generate_workload(
+                WorkloadType.MIXED,
+                0.1,
+                library=library,
+                deadline_slack_range=(0.5, 2.0),
+            )
+
+
+class TestPoissonArrivals:
+    def test_unknown_process_rejected(self, library):
+        with pytest.raises(ValueError, match="arrival process"):
+            generate_workload(
+                WorkloadType.MIXED, 0.1, library=library,
+                arrival_process="burst",
+            )
+
+    def test_poisson_mean_interval(self, library):
+        w = generate_workload(
+            WorkloadType.MIXED, 0.1, n_apps=200, seed=5, library=library,
+            arrival_process="poisson",
+        )
+        times = [a.arrival_s for a in w]
+        assert times == sorted(times)
+        assert times[0] == 0.0
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean_gap = sum(gaps) / len(gaps)
+        assert 0.07 < mean_gap < 0.13  # exponential with mean 0.1
+
+    def test_poisson_deterministic_per_seed(self, library):
+        a = generate_workload(
+            WorkloadType.MIXED, 0.1, n_apps=10, seed=4, library=library,
+            arrival_process="poisson",
+        )
+        b = generate_workload(
+            WorkloadType.MIXED, 0.1, n_apps=10, seed=4, library=library,
+            arrival_process="poisson",
+        )
+        assert [x.arrival_s for x in a] == [x.arrival_s for x in b]
+
+    def test_poisson_runs_through_simulator(self, library):
+        from repro.chip import default_chip
+        from repro.core import ParmManager
+        from repro.noc.routing import make_routing
+        from repro.runtime import RuntimeSimulator
+
+        w = generate_workload(
+            WorkloadType.COMPUTE, 0.15, n_apps=6, seed=2, library=library,
+            arrival_process="poisson",
+        )
+        sim = RuntimeSimulator(
+            default_chip(), ParmManager(), make_routing("panr"), seed=3
+        )
+        m = sim.run(w)
+        assert m.completed_count + m.dropped_count == 6

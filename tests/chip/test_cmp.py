@@ -1,0 +1,54 @@
+"""Tests for the top-level chip description."""
+
+import pytest
+
+from repro.chip import ChipDescription, MeshGeometry, VddLadder, default_chip, technology
+
+
+class TestDefaultChip:
+    def test_paper_platform(self):
+        chip = default_chip()
+        assert chip.tile_count == 60
+        assert chip.domain_count == 15
+        assert chip.tech.name == "7nm"
+        assert chip.dark_silicon_budget_w == pytest.approx(65.0)
+        assert list(chip.vdd_ladder) == pytest.approx([0.4, 0.5, 0.6, 0.7, 0.8])
+
+    def test_derived_members_available(self):
+        chip = default_chip()
+        assert chip.domains.domain_of(0) == 0
+        assert chip.power_model.frequency(0.8) > 1e9
+
+    def test_custom_size(self):
+        chip = default_chip(width=4, height=4)
+        assert chip.tile_count == 16
+        assert chip.domain_count == 4
+
+
+class TestValidation:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError, match="budget"):
+            ChipDescription(
+                mesh=MeshGeometry(4, 4),
+                tech=technology("7nm"),
+                vdd_ladder=VddLadder.paper_default(),
+                dark_silicon_budget_w=0.0,
+            )
+
+    def test_vdd_ladder_must_clear_threshold(self):
+        with pytest.raises(ValueError, match="threshold"):
+            ChipDescription(
+                mesh=MeshGeometry(4, 4),
+                tech=technology("7nm"),
+                vdd_ladder=VddLadder((0.2, 0.4)),
+                dark_silicon_budget_w=65.0,
+            )
+
+    def test_odd_mesh_rejected_via_domains(self):
+        with pytest.raises(ValueError, match="even"):
+            ChipDescription(
+                mesh=MeshGeometry(5, 4),
+                tech=technology("7nm"),
+                vdd_ladder=VddLadder.paper_default(),
+                dark_silicon_budget_w=65.0,
+            )

@@ -1,0 +1,87 @@
+"""Tests for the technology node library."""
+
+import pytest
+
+from repro.chip.technology import (
+    TECHNOLOGY_LIBRARY,
+    TECHNOLOGY_ORDER,
+    TechnologyNode,
+    technology,
+)
+
+
+class TestLibrary:
+    def test_contains_all_nodes_in_order(self):
+        assert set(TECHNOLOGY_ORDER) == set(TECHNOLOGY_LIBRARY)
+        sizes = [TECHNOLOGY_LIBRARY[n].feature_nm for n in TECHNOLOGY_ORDER]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_lookup_by_name(self):
+        node = technology("7nm")
+        assert node.name == "7nm"
+        assert node.feature_nm == 7.0
+
+    def test_unknown_node_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="5nm"):
+            technology("5nm")
+
+    def test_paper_7nm_figures(self):
+        """The 7 nm row must match values stated in the paper."""
+        node = technology("7nm")
+        assert node.core_area_mm2 == pytest.approx(4.0)
+        assert node.router_area_um2 == pytest.approx(71300.0)
+        assert node.vdd_ntc == pytest.approx(0.4)
+        assert node.vdd_nominal == pytest.approx(0.8)
+
+    def test_scaling_trends(self):
+        """Newer nodes: thinner grid wires, less decap, lower voltages."""
+        nodes = [TECHNOLOGY_LIBRARY[n] for n in TECHNOLOGY_ORDER]
+        for older, newer in zip(nodes, nodes[1:]):
+            assert newer.r_grid_ohm > older.r_grid_ohm
+            assert newer.c_decap_f < older.c_decap_f
+            assert newer.vdd_nominal <= older.vdd_nominal
+            assert newer.vth <= older.vth
+            assert newer.core_area_mm2 < older.core_area_mm2
+
+
+class TestValidation:
+    def _kwargs(self, **overrides):
+        base = dict(
+            name="x",
+            feature_nm=7.0,
+            vdd_nominal=0.8,
+            vdd_ntc=0.4,
+            vth=0.25,
+            alpha=1.3,
+            freq_at_nominal_hz=2e9,
+            switched_cap_core_f=2.9e-9,
+            switched_cap_router_f=0.6e-9,
+            leakage_power_core_w=0.3,
+            r_bump_ohm=3.2e-3,
+            l_bump_h=20e-12,
+            r_grid_ohm=3.6e-3,
+            l_grid_h=2.4e-12,
+            c_decap_f=8.5e-9,
+            core_area_mm2=4.0,
+            router_area_um2=71300.0,
+        )
+        base.update(overrides)
+        return base
+
+    def test_valid_node_constructs(self):
+        TechnologyNode(**self._kwargs())
+
+    def test_vth_above_ntc_rejected(self):
+        with pytest.raises(ValueError, match="vth"):
+            TechnologyNode(**self._kwargs(vth=0.5))
+
+    def test_ntc_above_nominal_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyNode(**self._kwargs(vdd_ntc=0.9))
+
+    @pytest.mark.parametrize(
+        "field", ["r_bump_ohm", "l_bump_h", "c_decap_f", "freq_at_nominal_hz"]
+    )
+    def test_nonpositive_parameters_rejected(self, field):
+        with pytest.raises(ValueError, match=field):
+            TechnologyNode(**self._kwargs(**{field: 0.0}))

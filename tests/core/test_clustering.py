@@ -1,0 +1,118 @@
+"""Tests for Algorithm 2's task clustering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.graph import ApplicationGraph, TaskNode
+from repro.core.clustering import TaskCluster, cluster_tasks
+from repro.pdn.waveforms import ActivityBin
+
+
+def graph_with_bins(bins, edges):
+    g = ApplicationGraph()
+    for i, b in enumerate(bins):
+        g.add_task(TaskNode(i, b, 1e6, 0.5))
+    for src, dst, vol in edges:
+        g.add_edge(src, dst, vol)
+    return g
+
+
+H, L = ActivityBin.HIGH, ActivityBin.LOW
+
+
+class TestValidation:
+    def test_non_multiple_of_four_rejected(self):
+        g = graph_with_bins([H, H, L], [])
+        with pytest.raises(ValueError, match="multiple of 4"):
+            cluster_tasks(g)
+
+    def test_cluster_size_validated(self):
+        with pytest.raises(ValueError):
+            TaskCluster((), mixed=False)
+        with pytest.raises(ValueError):
+            TaskCluster((0, 1, 2, 3, 4), mixed=False)
+
+
+class TestClustering:
+    def test_pure_bins_give_pure_clusters(self):
+        g = graph_with_bins([H] * 4 + [L] * 4, [(0, 1, 10.0), (4, 5, 10.0)])
+        clusters = cluster_tasks(g)
+        assert len(clusters) == 2
+        assert all(not c.mixed for c in clusters)
+        assert set(clusters[0].tasks) == {0, 1, 2, 3}
+        assert set(clusters[1].tasks) == {4, 5, 6, 7}
+
+    def test_remainders_merge_into_single_mixed_cluster(self):
+        """Paper: leftover tasks (< 4 per list) form one cluster; with
+        DoP a multiple of 4, the two remainders always total 0 or 4."""
+        g = graph_with_bins([H] * 5 + [L] * 3, [])
+        clusters = cluster_tasks(g)
+        assert len(clusters) == 2
+        mixed = [c for c in clusters if c.mixed]
+        assert len(mixed) == 1
+        assert len(mixed[0].tasks) == 4
+        # The mixed cluster holds 1 High + 3 Low tasks.
+        bins = [g.task(t).activity_bin for t in mixed[0].tasks]
+        assert bins.count(H) == 1 and bins.count(L) == 3
+
+    def test_edge_order_drives_cluster_membership(self):
+        """Tasks on the heaviest edges are listed (and clustered) first."""
+        bins = [H] * 8
+        # Heavy edges connect {0,7} and {2,5}; light edges the rest.
+        edges = [
+            (0, 7, 1000.0),
+            (2, 5, 900.0),
+            (1, 3, 10.0),
+            (4, 6, 5.0),
+        ]
+        clusters = cluster_tasks(graph_with_bins(bins, edges))
+        assert set(clusters[0].tasks) == {0, 7, 2, 5}
+        assert set(clusters[1].tasks) == {1, 3, 4, 6}
+
+    def test_isolated_tasks_appended(self):
+        g = graph_with_bins([H, H, H, H], [(0, 1, 10.0)])
+        clusters = cluster_tasks(g)
+        assert len(clusters) == 1
+        assert clusters[0].tasks == (0, 1, 2, 3)
+
+    def test_activity_blind_mode(self):
+        g = graph_with_bins([H, L, H, L, H, L, H, L], [(0, 1, 100.0), (2, 3, 90.0)])
+        aware = cluster_tasks(g, activity_aware=True)
+        blind = cluster_tasks(g, activity_aware=False)
+        # Aware: first cluster all-H; blind: first cluster follows edge
+        # order regardless of bins.
+        assert set(aware[0].tasks) == {0, 2, 4, 6}
+        assert blind[0].tasks == (0, 1, 2, 3)
+        assert blind[0].mixed
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_groups=st.integers(1, 8),
+        high_fraction=st.floats(0.0, 1.0),
+        seed=st.integers(0, 99),
+    )
+    def test_partition_properties(self, n_groups, high_fraction, seed):
+        """Clusters partition the tasks; at most one cluster is mixed."""
+        rng = np.random.default_rng(seed)
+        n = 4 * n_groups
+        bins = [H if rng.uniform() < high_fraction else L for _ in range(n)]
+        edges = []
+        for _ in range(n):
+            a, b = rng.integers(0, n, size=2)
+            if a < b:
+                edges.append((int(a), int(b), float(rng.uniform(1, 100))))
+        g = ApplicationGraph()
+        for i, b in enumerate(bins):
+            g.add_task(TaskNode(i, b, 1e6, 0.5))
+        seen = set()
+        for s_, d_, v in edges:
+            if (s_, d_) not in seen:
+                seen.add((s_, d_))
+                g.add_edge(s_, d_, v)
+        clusters = cluster_tasks(g)
+        assert len(clusters) == n_groups
+        all_tasks = [t for c in clusters for t in c.tasks]
+        assert sorted(all_tasks) == list(range(n))
+        assert sum(1 for c in clusters if c.mixed) <= 1
+        assert all(len(c.tasks) == 4 for c in clusters)

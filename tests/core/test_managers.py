@@ -1,0 +1,194 @@
+"""Tests for the PARM manager (Algorithms 1+2) and the HM baseline."""
+
+import pytest
+
+from repro.apps.suite import ProfileLibrary
+from repro.chip import default_chip
+from repro.core import HarmonicManager, ParmManager, psn_aware_mapping
+from repro.core.base import MappingDecision
+from repro.runtime.state import ChipState
+
+
+@pytest.fixture(scope="module")
+def library():
+    return ProfileLibrary()
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return default_chip()
+
+
+@pytest.fixture
+def state(chip):
+    return ChipState(chip)
+
+
+LOOSE = 100.0  # a deadline that everything meets
+
+
+class TestMappingDecision:
+    def test_dop_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="DoP"):
+            MappingDecision(vdd=0.4, dop=8, task_to_tile={0: 0}, power_w=1.0)
+
+    def test_duplicate_tiles_rejected(self):
+        with pytest.raises(ValueError, match="one tile"):
+            MappingDecision(
+                vdd=0.4, dop=4, task_to_tile={0: 0, 1: 0, 2: 1, 3: 2}, power_w=1.0
+            )
+
+
+class TestPsnAwareMapping:
+    def test_power_budget_enforced(self, library, chip):
+        """Algorithm 2 lines 1-2: estimated power above the DsPB headroom
+        means no mapping."""
+        state = ChipState(chip)
+        profile = library.get("swaptions")
+        assert profile.power_w(0.8, 32) > chip.dark_silicon_budget_w
+        assert psn_aware_mapping(profile, 0.8, 32, state) is None
+
+    def test_domain_availability_enforced(self, library, chip, state):
+        """Algorithm 2 lines 10-11: fewer free domains than clusters."""
+        profile = library.get("fft")
+        # Occupy 14 of 15 domains with a fake app.
+        fake = {}
+        for d in range(14):
+            for i, t in enumerate(chip.domains.tiles_of(d)):
+                fake[d * 4 + i] = t
+        state.occupy(99, fake, 0.4, 1.0)
+        assert psn_aware_mapping(profile, 0.4, 8, state) is None
+        decision = psn_aware_mapping(profile, 0.4, 4, state)
+        assert decision is not None
+        assert len(decision.task_to_tile) == 4
+
+    def test_successful_mapping_covers_whole_domains(self, library, chip, state):
+        profile = library.get("fft")
+        decision = psn_aware_mapping(profile, 0.4, 16, state)
+        assert decision is not None
+        used = {chip.domains.domain_of(t) for t in decision.tiles}
+        assert len(used) == 4  # 16 tasks / 4 per domain
+        for d in used:
+            assert set(chip.domains.tiles_of(d)) <= set(decision.tiles)
+
+
+class TestParmManager:
+    def test_prefers_lowest_vdd_highest_dop(self, library, state):
+        """Algorithm 1 starts from the lowest Vdd and the highest DoP."""
+        manager = ParmManager()
+        profile = library.get("blackscholes")
+        decision = manager.try_map(profile, LOOSE, state)
+        assert decision is not None
+        assert decision.vdd == pytest.approx(0.4)
+        assert decision.dop == 32
+
+    def test_escalates_vdd_for_tight_deadline(self, library, state):
+        manager = ParmManager()
+        profile = library.get("blackscholes")
+        loose = manager.try_map(profile, LOOSE, state)
+        best_low = min(
+            profile.wcet_s(0.4, d) for d in profile.supported_dops
+        )
+        tight = manager.try_map(profile, best_low * 0.9, state)
+        assert tight is not None
+        assert tight.vdd > loose.vdd
+
+    def test_lowers_dop_when_domains_scarce(self, library, chip):
+        manager = ParmManager()
+        profile = library.get("blackscholes")
+        state = ChipState(chip)
+        # Leave only 3 free domains.
+        fake = {}
+        for d in range(12):
+            for i, t in enumerate(chip.domains.tiles_of(d)):
+                fake[d * 4 + i] = t
+        state.occupy(99, fake, 0.4, 1.0)
+        decision = manager.try_map(profile, LOOSE, state)
+        assert decision is not None
+        assert decision.dop <= 12
+
+    def test_returns_none_for_impossible_deadline(self, library, state):
+        manager = ParmManager()
+        profile = library.get("raytrace")
+        assert manager.try_map(profile, 1e-6, state) is None
+
+    def test_respects_available_power(self, library, chip):
+        manager = ParmManager()
+        profile = library.get("fft")
+        state = ChipState(chip)
+        # Consume nearly the whole budget with a 1-domain fake app.
+        state.occupy(
+            99,
+            {i: t for i, t in enumerate(chip.domains.tiles_of(0))},
+            0.4,
+            chip.dark_silicon_budget_w - 1.0,
+        )
+        decision = manager.try_map(profile, LOOSE, state)
+        assert decision is None or decision.power_w <= 1.0 + 1e-9
+
+
+class TestHarmonicManager:
+    def test_fixed_nominal_vdd_and_default_dop(self, library, chip, state):
+        manager = HarmonicManager()
+        decision = manager.try_map(library.get("fft"), LOOSE, state)
+        assert decision is not None
+        assert decision.vdd == pytest.approx(chip.vdd_ladder.highest)
+        assert decision.dop == 16
+
+    def test_default_dop_validated(self):
+        with pytest.raises(ValueError):
+            HarmonicManager(default_dop=6)
+
+    def test_scatters_high_tasks_far_apart(self, library, chip, state):
+        """Harmonic mapping: High-activity tasks at long pairwise
+        distances (much farther than PARM's clustered placement)."""
+        manager = HarmonicManager()
+        profile = library.get("fft")
+        decision = manager.try_map(profile, LOOSE, state)
+        graph = profile.graph(decision.dop)
+        highs = [decision.task_to_tile[t] for t in graph.high_tasks()]
+        mesh = chip.mesh
+        min_dist = min(
+            mesh.manhattan(a, b)
+            for i, a in enumerate(highs)
+            for b in highs[i + 1:]
+        )
+        assert min_dist >= 3
+
+    def test_parm_places_more_compactly_than_hm(self, library, chip):
+        profile = library.get("fft")
+        parm = ParmManager().try_map(profile, LOOSE, ChipState(chip))
+        hm = HarmonicManager().try_map(profile, LOOSE, ChipState(chip))
+        graph = profile.graph(16)
+        mesh = chip.mesh
+
+        def comm_distance(decision):
+            return sum(
+                mesh.manhattan(
+                    decision.task_to_tile[s], decision.task_to_tile[d]
+                )
+                * v
+                for s, d, v in graph.edges()
+            )
+
+        assert comm_distance(parm) < comm_distance(hm)
+
+    def test_rejects_when_power_insufficient(self, library, chip):
+        manager = HarmonicManager()
+        state = ChipState(chip)
+        state.occupy(
+            99,
+            {i: t for i, t in enumerate(chip.domains.tiles_of(0))},
+            0.8,
+            chip.dark_silicon_budget_w - 5.0,
+        )
+        assert manager.try_map(library.get("fft"), LOOSE, state) is None
+
+    def test_rejects_when_tiles_insufficient(self, library, chip):
+        manager = HarmonicManager()
+        state = ChipState(chip)
+        # Occupy 50 of 60 tiles at the same (nominal) Vdd so only tile
+        # count blocks the 16-thread default.
+        fake = {i: i for i in range(50)}
+        state.occupy(99, fake, chip.vdd_ladder.highest, 1.0)
+        assert manager.try_map(library.get("fft"), LOOSE, state) is None

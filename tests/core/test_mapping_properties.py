@@ -1,0 +1,61 @@
+"""Property tests: every PARM decision satisfies the platform invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.suite import COMMUNICATION_BENCHMARKS, COMPUTE_BENCHMARKS, ProfileLibrary
+from repro.chip import default_chip
+from repro.core import ParmManager
+from repro.runtime.state import ChipState
+
+_LIBRARY = ProfileLibrary()
+_CHIP = default_chip()
+_NAMES = tuple(dict.fromkeys(COMPUTE_BENCHMARKS + COMMUNICATION_BENCHMARKS))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    name=st.sampled_from(_NAMES),
+    deadline_s=st.floats(0.05, 5.0),
+    occupied_domains=st.integers(0, 14),
+    budget_used=st.floats(0.0, 60.0),
+    seed=st.integers(0, 99),
+)
+def test_parm_decisions_respect_all_invariants(
+    name, deadline_s, occupied_domains, budget_used, seed
+):
+    """For random chip pressure and deadlines, any decision PARM returns:
+
+    * meets the deadline per the profile's WCET table;
+    * fits the remaining power budget;
+    * occupies whole, previously-free domains only;
+    * maps every task to a distinct tile;
+    * is applicable (ChipState.occupy accepts it).
+    """
+    rng = np.random.default_rng(seed)
+    state = ChipState(_CHIP)
+    if occupied_domains:
+        chosen = rng.choice(15, size=occupied_domains, replace=False)
+        fake = {}
+        for i, d in enumerate(chosen):
+            for j, t in enumerate(_CHIP.domains.tiles_of(int(d))):
+                fake[i * 4 + j] = t
+        power = min(budget_used, 60.0)
+        state.occupy(999, fake, 0.4, power)
+
+    profile = _LIBRARY.get(name)
+    decision = ParmManager().try_map(profile, deadline_s, state)
+    if decision is None:
+        return
+
+    assert profile.wcet_s(decision.vdd, decision.dop) < deadline_s
+    assert decision.power_w <= state.available_power_w() + 1e-9
+    assert len(set(decision.task_to_tile.values())) == decision.dop
+    free_before = set(state.free_domains())
+    used = {_CHIP.domains.domain_of(t) for t in decision.tiles}
+    assert used <= free_before
+    for d in used:
+        assert set(_CHIP.domains.tiles_of(d)) <= set(decision.tiles)
+    # The decision must be applicable as-is.
+    state.occupy(1, decision.task_to_tile, decision.vdd, decision.power_w)

@@ -1,0 +1,90 @@
+"""Tests for cluster-to-domain and task-to-tile placement."""
+
+import pytest
+
+from repro.apps.graph import ApplicationGraph, TaskNode
+from repro.chip.domains import DomainMap
+from repro.chip.mesh import MeshGeometry
+from repro.core.clustering import TaskCluster, cluster_tasks
+from repro.core.placement import place_clusters
+from repro.pdn.waveforms import ActivityBin
+
+H, L = ActivityBin.HIGH, ActivityBin.LOW
+
+
+@pytest.fixture
+def domains():
+    return DomainMap(MeshGeometry(10, 6))
+
+
+def make_graph(bins, edges):
+    g = ApplicationGraph()
+    for i, b in enumerate(bins):
+        g.add_task(TaskNode(i, b, 1e6, 0.7 if b is H else 0.2))
+    for s, d, v in edges:
+        g.add_edge(s, d, v)
+    return g
+
+
+class TestPlaceClusters:
+    def test_insufficient_domains_returns_none(self, domains):
+        g = make_graph([H] * 8, [])
+        clusters = cluster_tasks(g)
+        assert place_clusters(g, clusters, free_domains=[0], domains=domains) is None
+
+    def test_all_tasks_placed_once(self, domains):
+        g = make_graph([H] * 8 + [L] * 8, [(0, 8, 100.0), (1, 9, 50.0)])
+        clusters = cluster_tasks(g)
+        mapping = place_clusters(g, clusters, list(range(15)), domains)
+        assert mapping is not None
+        assert sorted(mapping.keys()) == list(range(16))
+        tiles = list(mapping.values())
+        assert len(set(tiles)) == 16
+
+    def test_clusters_land_on_whole_domains(self, domains):
+        g = make_graph([H] * 8, [(0, 1, 10.0)])
+        clusters = cluster_tasks(g)
+        mapping = place_clusters(g, clusters, list(range(15)), domains)
+        for cluster in clusters:
+            ds = {domains.domain_of(mapping[t]) for t in cluster.tasks}
+            assert len(ds) == 1
+
+    def test_communicating_clusters_placed_adjacent(self, domains):
+        """Heavy inter-cluster traffic pulls the two domains together."""
+        # Two all-H clusters linked by a heavy edge.
+        g = make_graph(
+            [H] * 8,
+            [(0, 4, 1e6), (1, 5, 1e6), (2, 3, 1.0), (6, 7, 1.0)],
+        )
+        clusters = cluster_tasks(g)
+        assert len(clusters) == 2
+        mapping = place_clusters(g, clusters, list(range(15)), domains)
+        d0 = domains.domain_of(mapping[clusters[0].tasks[0]])
+        d1 = domains.domain_of(mapping[clusters[1].tasks[0]])
+        assert domains.domain_distance(d0, d1) == 1
+
+    def test_same_bin_tasks_adjacent_in_mixed_domain(self, domains):
+        """Fig. 5: in a 2H+2L domain, the two H tasks sit on adjacent
+        tiles and the two L tasks on adjacent tiles."""
+        g = make_graph([H, H, L, L], [(0, 2, 10.0)])
+        clusters = cluster_tasks(g)
+        assert len(clusters) == 1 and clusters[0].mixed
+        mapping = place_clusters(g, clusters, list(range(15)), domains)
+        mesh = domains.mesh
+        h_tiles = [mapping[0], mapping[1]]
+        l_tiles = [mapping[2], mapping[3]]
+        assert mesh.manhattan(*h_tiles) == 1
+        assert mesh.manhattan(*l_tiles) == 1
+
+    def test_respects_free_domain_list(self, domains):
+        g = make_graph([H] * 4, [])
+        clusters = cluster_tasks(g)
+        mapping = place_clusters(g, clusters, [7], domains)
+        assert {domains.domain_of(t) for t in mapping.values()} == {7}
+
+    def test_deterministic(self, domains):
+        g = make_graph([H] * 8 + [L] * 4, [(0, 8, 100.0)])
+        clusters = cluster_tasks(g)
+        a = place_clusters(g, clusters, list(range(15)), domains)
+        b = place_clusters(g, clusters, list(range(15)), domains)
+        assert a == b

@@ -1,0 +1,107 @@
+"""Tests for the ablation studies."""
+
+import pytest
+
+from repro.exp import ablations
+
+
+class TestBufferThreshold:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablations.buffer_threshold_sweep(
+            thresholds=(0.1, 0.5, 0.9), cycles=2500
+        )
+
+    def test_sweep_structure(self, rows):
+        assert [r.threshold for r in rows] == [0.1, 0.5, 0.9]
+        for r in rows:
+            assert r.avg_latency_cycles > 0
+            assert r.throughput_flits_per_cycle > 0
+            assert r.noisy_traffic_flits_per_cycle >= 0
+
+    def test_low_threshold_ignores_noise(self, rows):
+        """B = 0.1 is congestion-mode almost always: far more traffic
+        crosses the noisy band than at the paper's B = 0.5."""
+        by_b = {r.threshold: r for r in rows}
+        assert by_b[0.1].noisy_traffic_flits_per_cycle > (
+            1.5 * by_b[0.5].noisy_traffic_flits_per_cycle
+        )
+
+
+class TestDopSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablations.dop_sweep(dops=(4, 8, 16, 32, 48, 64))
+
+    def test_parallelism_helps_initially(self, rows):
+        by_dop = {r.dop: r.wcet_s for r in rows}
+        assert by_dop[16] < by_dop[4]
+        assert by_dop[32] < by_dop[16]
+
+    def test_returns_diminish_beyond_32(self, rows):
+        """The paper caps DoP at 32: gains beyond are marginal or
+        negative due to synchronisation overhead."""
+        by_dop = {r.dop: r.wcet_s for r in rows}
+        gain_to_32 = by_dop[16] - by_dop[32]
+        gain_past_32 = by_dop[32] - by_dop[64]
+        assert gain_past_32 < 0.5 * gain_to_32
+
+
+class TestParmComponents:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablations.parm_component_ablation(n_apps=8, seeds=(1,))
+
+    def test_variants_present(self, rows):
+        assert [r.variant for r in rows] == ["PARM", "PARM-noact", "PARM-novdd"]
+
+    def test_vdd_adaptation_is_the_big_lever(self, rows):
+        """Forcing nominal Vdd must raise PSN substantially - the paper's
+        central claim that DVS + DoP adaptation drives PSN down."""
+        by = {r.variant: r for r in rows}
+        assert by["PARM-novdd"].peak_psn_pct > 1.3 * by["PARM"].peak_psn_pct
+        assert by["PARM-novdd"].avg_psn_pct > by["PARM"].avg_psn_pct
+
+
+class TestDspbSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablations.dspb_sensitivity_sweep(
+            budgets_w=(40.0, 65.0, 100.0), n_apps=8
+        )
+
+    def test_hm_gains_with_budget(self, rows):
+        """HM is power-bound: raising the DsPB buys it completions."""
+        by = {r.budget_w: r for r in rows}
+        assert by[100.0].hm_completed > by[40.0].hm_completed
+
+    def test_parm_insensitive_to_budget(self, rows):
+        """PARM at NTC barely touches the budget - it is tile-bound."""
+        done = [r.parm_completed for r in rows]
+        assert max(done) - min(done) <= 2.0
+
+    def test_thermal_model_marks_large_budgets_uncoolable(self, rows):
+        by = {r.budget_w: r for r in rows}
+        assert by[40.0].thermally_safe
+        assert by[65.0].thermally_safe
+        assert not by[100.0].thermally_safe
+
+
+class TestCheckpointSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablations.checkpoint_period_sweep()
+
+    def test_monotone_components(self, rows):
+        steady = [r.steady_overhead_pct for r in rows]
+        loss = [r.loss_per_ve_ms for r in rows]
+        assert steady == sorted(steady, reverse=True)
+        assert loss == sorted(loss)
+
+    def test_paper_period_is_near_optimal(self, rows):
+        """At PARM's residual VE rate the 1 ms period minimises the
+        combined cost."""
+        best = min(rows, key=lambda r: r.combined_cost_pct)
+        assert best.period_s in (0.5e-3, 1e-3)
+        by = {r.period_s: r for r in rows}
+        assert by[1e-3].combined_cost_pct <= 1.2 * best.combined_cost_pct

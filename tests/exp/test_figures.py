@@ -1,0 +1,135 @@
+"""End-to-end tests: the figure entry points reproduce the paper's shapes.
+
+These are the reproduction's acceptance tests.  They run with reduced
+sizes/seeds to stay fast; the benchmarks run the full configurations.
+"""
+
+import pytest
+
+from repro.apps.workload import WorkloadType
+from repro.exp import figures
+from repro.exp.figures import FIG8_FRAMEWORKS
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figures.fig1(window_s=200e-9, dt_s=100e-12)
+
+    def test_all_nodes_present(self, rows):
+        assert [r.node for r in rows] == [
+            "45nm", "32nm", "22nm", "14nm", "10nm", "7nm",
+        ]
+
+    def test_psn_grows_with_scaling(self, rows):
+        peaks = [r.peak_psn_pct for r in rows]
+        assert peaks == sorted(peaks)
+
+    def test_margin_crossed_at_newest_nodes(self, rows):
+        """The motivation: peak PSN exceeds the 5 % VE margin at the
+        newest nodes while older nodes are safely below."""
+        by_node = {r.node: r.peak_psn_pct for r in rows}
+        assert by_node["45nm"] < 2.5
+        assert by_node["7nm"] > 5.0
+
+
+class TestFig3a:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figures.fig3a(vdds=(0.4, 0.6, 0.8), window_s=200e-9, dt_s=100e-12)
+
+    def test_psn_proportional_to_vdd(self, rows):
+        for kind in ("compute", "communication"):
+            peaks = [r.peak_psn_pct for r in rows if r.kind == kind]
+            assert peaks == sorted(peaks)
+
+    def test_communication_noisier(self, rows):
+        comm = {r.vdd: r.peak_psn_pct for r in rows if r.kind == "communication"}
+        comp = {r.vdd: r.peak_psn_pct for r in rows if r.kind == "compute"}
+        for vdd in comm:
+            assert comm[vdd] > comp[vdd]
+
+
+class TestFig3b:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figures.fig3b(window_s=300e-9, dt_s=100e-12)
+
+    def test_high_low_pair_normalises_to_one(self, rows):
+        by_key = {(r.pair, r.hops): r.normalised for r in rows}
+        assert by_key[("H-L", 1)] == pytest.approx(1.0)
+
+    def test_paper_orderings(self, rows):
+        by_key = {(r.pair, r.hops): r.normalised for r in rows}
+        # H-L interferes up to ~35 % more than H-H and L-L...
+        assert by_key[("H-H", 1)] < 0.9
+        assert by_key[("L-L", 1)] < by_key[("H-L", 1)]
+        # ...and 2-hop separation interferes ~10 % less.
+        assert by_key[("H-L", 2)] < 0.98
+        assert by_key[("H-L", 2)] > 0.7
+
+
+class TestFig67:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figures.run_fig67(
+            workloads=(WorkloadType.COMPUTE, WorkloadType.COMMUNICATION),
+            n_apps=10,
+            seeds=(1,),
+        )
+
+    def _by(self, rows, workload):
+        return {r.framework: r for r in rows if r.workload == workload}
+
+    @pytest.mark.parametrize("workload", ["compute", "communication"])
+    def test_parm_beats_hm_on_execution_time(self, rows, workload):
+        by = self._by(rows, workload)
+        assert (
+            by["PARM+PANR"].total_time_s < by["HM+XY"].total_time_s
+        )
+        assert by["PARM+PANR"].improvement_vs_hm_xy_pct > 10.0
+
+    @pytest.mark.parametrize("workload", ["compute", "communication"])
+    def test_parm_has_much_lower_psn(self, rows, workload):
+        by = self._by(rows, workload)
+        assert by["PARM+PANR"].psn_reduction_vs_hm_xy > 1.5
+        assert by["PARM+PANR"].avg_psn_pct < by["HM+XY"].avg_psn_pct
+
+    def test_all_six_frameworks_reported(self, rows):
+        by = self._by(rows, "compute")
+        assert set(by) == {
+            "HM+XY", "HM+ICON", "HM+PANR",
+            "PARM+XY", "PARM+ICON", "PARM+PANR",
+        }
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figures.fig8(
+            workloads=(WorkloadType.COMPUTE,),
+            arrival_intervals_s=(0.2, 0.05),
+            n_apps=10,
+            seeds=(1,),
+        )
+
+    def test_framework_subset(self, rows):
+        assert {r.framework for r in rows} == set(FIG8_FRAMEWORKS)
+
+    def test_parm_completes_more_when_oversubscribed(self, rows):
+        fast = {
+            r.framework: r for r in rows if r.arrival_interval_s == 0.05
+        }
+        assert fast["PARM+PANR"].completed > fast["HM+XY"].completed
+
+    def test_slow_arrival_is_easier_for_everyone(self, rows):
+        for fw in FIG8_FRAMEWORKS:
+            slow = next(
+                r for r in rows
+                if r.framework == fw and r.arrival_interval_s == 0.2
+            )
+            fast = next(
+                r for r in rows
+                if r.framework == fw and r.arrival_interval_s == 0.05
+            )
+            assert slow.completed >= fast.completed

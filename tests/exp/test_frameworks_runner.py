@@ -1,0 +1,76 @@
+"""Tests for the experiment harness plumbing."""
+
+import pytest
+
+from repro.apps.suite import ProfileLibrary
+from repro.apps.workload import WorkloadType
+from repro.core import HarmonicManager, ParmManager
+from repro.exp.frameworks import FRAMEWORKS, Framework, framework
+from repro.exp.runner import run_framework
+from repro.noc.routing import IconRouting, PanrRouting, XYRouting
+
+
+class TestFramework:
+    def test_six_combinations(self):
+        names = [f.name for f in FRAMEWORKS]
+        assert names == [
+            "HM+XY", "HM+ICON", "HM+PANR",
+            "PARM+XY", "PARM+ICON", "PARM+PANR",
+        ]
+
+    def test_lookup_case_insensitive(self):
+        assert framework("parm+panr").name == "PARM+PANR"
+        with pytest.raises(KeyError):
+            framework("PARM+WORMY")
+
+    def test_factories(self):
+        fw = framework("PARM+PANR")
+        assert isinstance(fw.make_manager(), ParmManager)
+        assert isinstance(fw.make_routing(), PanrRouting)
+        fw = framework("HM+ICON")
+        assert isinstance(fw.make_manager(), HarmonicManager)
+        assert isinstance(fw.make_routing(), IconRouting)
+        assert isinstance(framework("HM+XY").make_routing(), XYRouting)
+
+    def test_invalid_parts_rejected(self):
+        with pytest.raises(ValueError):
+            Framework("XXX", "xy")
+        with pytest.raises(KeyError):
+            Framework("PARM", "bogus")
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def library(self):
+        return ProfileLibrary()
+
+    def test_run_framework_aggregates_seeds(self, library):
+        result = run_framework(
+            framework("PARM+XY"),
+            WorkloadType.COMPUTE,
+            arrival_interval_s=0.2,
+            n_apps=4,
+            seeds=(1, 2),
+            library=library,
+        )
+        assert result.framework == "PARM+XY"
+        assert result.workload == "compute"
+        assert len(result.runs) == 2
+        assert 0 <= result.completed <= 4
+        assert result.completed + result.dropped == pytest.approx(4.0)
+        assert result.total_time_s > 0
+        assert result.total_time_std_s >= 0
+        assert result.completed_std >= 0
+
+    def test_loose_slack_override(self, library):
+        result = run_framework(
+            framework("HM+XY"),
+            WorkloadType.COMPUTE,
+            arrival_interval_s=0.2,
+            n_apps=4,
+            seeds=(1,),
+            library=library,
+            deadline_slack_range=(30.0, 30.0),
+        )
+        assert result.completed == pytest.approx(4.0)
+        assert result.dropped == 0.0

@@ -1,0 +1,58 @@
+"""Tests for the report generator and CLI."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.exp.report import PRESETS, generate_report
+
+
+class TestPresets:
+    def test_known_presets(self):
+        assert set(PRESETS) == {"quick", "full"}
+        assert PRESETS["full"].n_apps >= PRESETS["quick"].n_apps
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(KeyError, match="preset"):
+            generate_report(preset="gigantic")
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(KeyError, match="sections"):
+            generate_report(sections=["fig99"])
+
+
+class TestGenerate:
+    def test_single_section_report(self):
+        report = generate_report(preset="quick", sections=["overhead"])
+        assert report.startswith("# PARM reproduction report")
+        assert "Section 4.4 overhead" in report
+        assert "um^2" in report
+        assert "Fig. 1" not in report
+
+    def test_fig1_section_contains_all_nodes(self):
+        report = generate_report(preset="quick", sections=["fig1"])
+        for node in ("45nm", "32nm", "22nm", "14nm", "10nm", "7nm"):
+            assert node in report
+
+    def test_extensions_section(self):
+        report = generate_report(preset="quick", sections=["extensions"])
+        assert "dark-silicon power budget" in report
+        assert "checkpoint-period" in report
+        assert "guardband" in report
+
+
+class TestCli:
+    def test_writes_output_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main(["--sections", "overhead", "--output", str(out)])
+        assert code == 0
+        assert "Section 4.4 overhead" in out.read_text()
+        assert str(out) in capsys.readouterr().out
+
+    def test_stdout_by_default(self, capsys):
+        code = main(["--sections", "overhead"])
+        assert code == 0
+        assert "PARM reproduction report" in capsys.readouterr().out
+
+    def test_bad_preset_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--preset", "huge"])

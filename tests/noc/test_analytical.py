@@ -1,0 +1,133 @@
+"""Tests for the analytical flow-based NoC model."""
+
+import numpy as np
+import pytest
+
+from repro.chip.mesh import MeshGeometry
+from repro.noc.analytical import AnalyticalNocModel, Flow
+from repro.noc.routing import IconRouting, PanrRouting, WestFirstRouting, XYRouting
+from repro.noc.topology import Direction, MeshTopology
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return MeshTopology(MeshGeometry(6, 6))
+
+
+def model(topo, routing=None, **kw):
+    return AnalyticalNocModel(topo, routing or XYRouting(), **kw)
+
+
+class TestFlowValidation:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(0, 1, -0.5)
+
+    def test_constructor_validation(self, topo):
+        with pytest.raises(ValueError):
+            AnalyticalNocModel(topo, XYRouting(), iterations=0)
+        with pytest.raises(ValueError):
+            AnalyticalNocModel(topo, XYRouting(), link_bandwidth=0.0)
+
+    def test_bad_psn_shape(self, topo):
+        with pytest.raises(ValueError):
+            model(topo).evaluate([Flow(0, 1, 0.1)], psn_pct=np.zeros(3))
+
+    def test_bad_tile_ids(self, topo):
+        with pytest.raises(ValueError):
+            model(topo).evaluate([Flow(0, 99, 0.1)])
+
+
+class TestConservation:
+    def test_xy_single_flow_loads_path_links(self, topo):
+        rep = model(topo).evaluate([Flow(0, 2, 0.4)])
+        # Utilisation includes the burstiness factor (default 1.6).
+        assert rep.link_rho[(0, Direction.EAST)] == pytest.approx(0.4 * 1.6)
+        assert rep.link_rho[(1, Direction.EAST)] == pytest.approx(0.4 * 1.6)
+        assert (2, Direction.EAST) not in rep.link_rho
+
+    def test_router_load_includes_endpoints(self, topo):
+        rep = model(topo).evaluate([Flow(0, 2, 0.4)])
+        for t in (0, 1, 2):
+            assert rep.router_flits_per_cycle[t] == pytest.approx(0.4)
+        assert rep.router_flits_per_cycle[3] == 0.0
+
+    def test_adaptive_split_conserves_flow(self, topo):
+        """West-first splits over minimal paths; total ejected flow at
+        the destination must equal the injected rate."""
+        rep = model(topo, WestFirstRouting()).evaluate([Flow(0, 14, 0.6)])
+        assert rep.router_flits_per_cycle[14] == pytest.approx(0.6)
+        # Inflow to dst = sum of link loads on its incoming links
+        # (link_rho carries the burstiness factor).
+        inflow = sum(
+            rho
+            for (tile, d), rho in rep.link_rho.items()
+            if topo.neighbor(tile, d) == 14
+        )
+        assert inflow == pytest.approx(0.6 * 1.6)
+
+    def test_zero_rate_and_self_flow(self, topo):
+        rep = model(topo).evaluate([Flow(0, 5, 0.0), Flow(3, 3, 0.5)])
+        assert rep.avg_latency_cycles == 0.0
+        assert rep.max_router_rate == 0.0
+
+
+class TestLatency:
+    def test_hops_match_manhattan_for_minimal_routing(self, topo):
+        rep = model(topo, WestFirstRouting()).evaluate([Flow(0, 14, 0.2)])
+        assert rep.flows[0].avg_hops == pytest.approx(4.0)
+
+    def test_latency_grows_with_load(self, topo):
+        light = model(topo).evaluate([Flow(0, 5, 0.1)])
+        heavy = model(topo).evaluate([Flow(0, 5, 0.85)])
+        assert (
+            heavy.flows[0].header_latency_cycles
+            > light.flows[0].header_latency_cycles
+        )
+
+    def test_latency_scale_grows_near_saturation(self, topo):
+        light = model(topo).evaluate([Flow(0, 5, 0.1)])
+        heavy = model(topo).evaluate([Flow(0, 5, 0.94)])
+        assert light.flows[0].latency_scale < heavy.flows[0].latency_scale
+        assert light.flows[0].latency_scale >= 1.0
+
+    def test_saturation_flag(self, topo):
+        ok = model(topo).evaluate([Flow(0, 5, 0.5)])
+        sat = model(topo).evaluate([Flow(0, 5, 1.4)])
+        assert not ok.saturated
+        assert sat.saturated
+
+
+class TestPolicyBehaviour:
+    def test_west_first_spreads_load_vs_xy(self, topo):
+        """Adaptive routing lowers the worst link utilisation for
+        diagonal traffic."""
+        flows = [Flow(0, 14, 0.8)]
+        xy = model(topo).evaluate(flows)
+        wf = model(topo, WestFirstRouting()).evaluate(flows)
+        assert max(wf.link_rho.values()) < max(xy.link_rho.values())
+
+    def test_panr_avoids_noisy_tiles(self, topo):
+        psn = np.zeros(36)
+        psn[[1, 2]] = 9.0  # noisy top row
+        flows = [Flow(0, 14, 0.5)]
+        panr = model(topo, PanrRouting()).evaluate(flows, psn_pct=psn)
+        wf = model(topo, WestFirstRouting()).evaluate(flows, psn_pct=psn)
+        noisy_panr = panr.router_flits_per_cycle[[1, 2]].sum()
+        noisy_wf = wf.router_flits_per_cycle[[1, 2]].sum()
+        assert noisy_panr < noisy_wf
+
+    def test_icon_balances_router_activity(self, topo):
+        """ICON steers away from routers already busy with other flows:
+        the probe's XY path rides the loaded top row, ICON drops south."""
+        base = [Flow(0, 4, 0.5)]  # loads the row y=0
+        probe = [Flow(0, 16, 0.3)]  # XY shares row 0; ICON can go south
+        icon = model(topo, IconRouting(), iterations=4).evaluate(base + probe)
+        xy = model(topo).evaluate(base + probe)
+        assert max(icon.link_rho.values()) < max(xy.link_rho.values()) - 0.1
+
+    def test_deterministic(self, topo):
+        flows = [Flow(0, 14, 0.5), Flow(3, 30, 0.3)]
+        a = model(topo, PanrRouting()).evaluate(flows)
+        b = model(topo, PanrRouting()).evaluate(flows)
+        assert a.link_rho == b.link_rho

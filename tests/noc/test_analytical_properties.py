@@ -1,0 +1,93 @@
+"""Property-based tests: flow conservation in the analytical NoC model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chip.mesh import MeshGeometry
+from repro.noc.analytical import AnalyticalNocModel, Flow
+from repro.noc.routing import make_routing
+from repro.noc.topology import MeshTopology
+
+_TOPO = MeshTopology(MeshGeometry(6, 6))
+
+POLICIES = ["xy", "west-first", "panr", "icon", "odd-even"]
+
+
+def _random_flows(seed, n_flows):
+    rng = np.random.default_rng(seed)
+    flows = []
+    for _ in range(n_flows):
+        src, dst = rng.choice(36, size=2, replace=False)
+        flows.append(Flow(int(src), int(dst), float(rng.uniform(0.01, 0.3))))
+    psn = rng.uniform(0.0, 8.0, size=36)
+    return flows, psn
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    policy=st.sampled_from(POLICIES),
+    seed=st.integers(0, 1000),
+    n_flows=st.integers(1, 8),
+)
+def test_minimality_and_conservation(policy, seed, n_flows):
+    """For any policy and any flow set:
+
+    * the per-flow expected hop count equals the Manhattan distance
+      (every policy here is minimal), so no flow is lost or detoured;
+    * total router load equals sum over flows of rate * (hops + 1),
+      since each flow visits exactly hops + 1 routers;
+    * latency is bounded below by the zero-load pipeline latency.
+    """
+    flows, psn = _random_flows(seed, n_flows)
+    model = AnalyticalNocModel(_TOPO, make_routing(policy))
+    report = model.evaluate(flows, psn_pct=psn)
+
+    for f, stats in zip(flows, report.flows):
+        expected = _TOPO.mesh.manhattan(f.src, f.dst)
+        assert stats.avg_hops == pytest.approx(expected, rel=1e-9)
+        assert stats.header_latency_cycles >= 3.0 * expected - 1e-9
+        assert stats.latency_scale >= 1.0
+
+    assert np.all(report.router_flits_per_cycle >= 0)
+    assert np.all(np.isfinite(report.router_flits_per_cycle))
+    expected_total = sum(
+        f.rate * (_TOPO.mesh.manhattan(f.src, f.dst) + 1) for f in flows
+    )
+    assert float(report.router_flits_per_cycle.sum()) == pytest.approx(
+        expected_total, rel=1e-6
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    policy=st.sampled_from(POLICIES),
+    seed=st.integers(0, 1000),
+)
+def test_destination_ejection_balance(policy, seed):
+    """Link loads into each destination account for its whole offered
+    rate: incoming-link rho (divided by the burstiness factor) plus
+    locally injected flow equals locally ejected plus forwarded flow."""
+    flows, psn = _random_flows(seed, 5)
+    model = AnalyticalNocModel(_TOPO, make_routing(policy))
+    report = model.evaluate(flows, psn_pct=psn)
+    if report.saturated:
+        return  # clamped loads break exact balance by design
+
+    burstiness = 1.6  # model default
+    for tile in _TOPO.mesh.tiles():
+        link_in = sum(
+            rho / burstiness
+            for (src, d), rho in report.link_rho.items()
+            if _TOPO.neighbor(src, d) == tile
+        )
+        link_out = sum(
+            rho / burstiness
+            for (src, d), rho in report.link_rho.items()
+            if src == tile
+        )
+        injected = sum(f.rate for f in flows if f.src == tile)
+        ejected = sum(f.rate for f in flows if f.dst == tile)
+        assert link_in + injected == pytest.approx(
+            link_out + ejected, rel=1e-6, abs=1e-9
+        )

@@ -1,0 +1,43 @@
+"""Tests for the PANR hardware overhead model (paper Section 4.4)."""
+
+import pytest
+
+from repro.chip.technology import technology
+from repro.noc.overhead import panr_router_overhead
+
+
+class TestOverheadAt7nm:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return panr_router_overhead()
+
+    def test_logic_area_matches_paper(self, report):
+        """Paper: ~115 um^2 of added logic per router at 7 nm."""
+        assert report.logic_area_um2 == pytest.approx(115.0, rel=0.1)
+
+    def test_area_fraction_below_one_percent(self, report):
+        """Paper: well under 1 % of the ~71300 um^2 router."""
+        assert report.area_fraction_of_router < 0.01
+
+    def test_sensor_area_matches_paper(self, report):
+        """Paper: ~413 um^2 sensor network, negligible vs ~4 mm^2 core."""
+        assert report.sensor_area_um2 == pytest.approx(413.0, rel=0.01)
+        assert report.sensor_fraction_of_core < 0.001
+
+    def test_power_fraction_matches_paper(self, report):
+        """Paper: ~3 % of router power."""
+        assert report.power_fraction_of_router == pytest.approx(0.03)
+
+    def test_power_about_one_milliwatt_at_ntc(self):
+        """Paper: ~1 mW at ~1 GHz; our NTC point (0.74 GHz at 0.4 V,
+        light load) lands in the same regime."""
+        report = panr_router_overhead(vdd=0.4, flits_per_cycle=0.25)
+        assert 0.3e-3 < report.power_overhead_w < 3e-3
+
+
+class TestScaling:
+    def test_older_nodes_have_larger_overhead_area(self):
+        small = panr_router_overhead(technology("7nm"))
+        big = panr_router_overhead(technology("45nm"))
+        assert big.logic_area_um2 > small.logic_area_um2
+        assert big.sensor_area_um2 > small.sensor_area_um2

@@ -1,0 +1,66 @@
+"""Tests for the domain PDN netlist builder."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.chip.technology import technology
+from repro.pdn.builder import TILE_NODES, DomainPdnBuilder
+from repro.pdn.circuit import GROUND
+
+
+@pytest.fixture
+def builder():
+    return DomainPdnBuilder(technology("7nm"))
+
+
+class TestBuild:
+    def test_tile_nodes_present(self, builder):
+        circuit = builder.build(0.6, [0.0, 0.0, 0.0, 0.0])
+        for node in TILE_NODES:
+            assert node in circuit.node_names
+
+    def test_dc_rail_voltage_with_no_load(self, builder):
+        circuit = builder.build(0.6, [0.0] * 4)
+        op = circuit.operating_point()
+        for node in TILE_NODES:
+            assert op[node] == pytest.approx(0.6, abs=1e-9)
+
+    def test_dc_ir_drop_with_load(self, builder):
+        circuit = builder.build(0.6, [1.0, 0.0, 0.0, 0.0])
+        op = circuit.operating_point()
+        # Loaded tile sags below the rail; all tiles stay below Vdd.
+        assert op["tile0"] < 0.6
+        for node in TILE_NODES:
+            assert op[node] <= 0.6
+
+    def test_adjacent_tile_sags_more_than_diagonal(self, builder):
+        """DC coupling through the grid: tile1 (1 hop from tile0) sags at
+        least as much as tile3 (diagonal)."""
+        circuit = builder.build(0.6, [2.0, 0.0, 0.0, 0.0])
+        op = circuit.operating_point()
+        drop_1hop = 0.6 - op["tile1"]
+        drop_2hop = 0.6 - op["tile3"]
+        assert drop_1hop >= drop_2hop > 0
+
+    def test_wrong_load_count_rejected(self, builder):
+        with pytest.raises(ValueError, match="tile currents"):
+            builder.build(0.6, [0.0] * 3)
+
+    def test_nonpositive_vdd_rejected(self, builder):
+        with pytest.raises(ValueError, match="vdd"):
+            builder.build(0.0, [0.0] * 4)
+
+    def test_resonance_frequency(self, builder):
+        tech = builder.tech
+        expected = 1.0 / (2 * math.pi * math.sqrt(tech.l_bump_h * tech.c_decap_f))
+        assert builder.resonance_hz() == pytest.approx(expected)
+
+    def test_time_varying_load_transient_runs(self, builder):
+        wave = lambda t: 0.5 + 0.2 * np.sin(2 * math.pi * 1e8 * t)
+        circuit = builder.build(0.5, [wave, 0.0, 0.0, 0.0])
+        res = circuit.transient(50e-9, 100e-12)
+        v = res.voltage("tile0")
+        assert np.all(v < 0.5)
+        assert np.all(v > 0.4)

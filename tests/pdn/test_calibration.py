@@ -1,0 +1,100 @@
+"""Tests for kernel calibration and fast-vs-transient agreement."""
+
+import numpy as np
+import pytest
+
+from repro.chip.power import PowerModel
+from repro.chip.technology import technology
+from repro.pdn.calibrate import fit_kernels, generate_samples
+from repro.pdn.fast import FastPsnModel
+from repro.pdn.transient import PsnTransientAnalysis
+from repro.pdn.waveforms import ActivityBin, TileLoad
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    """A reduced calibration corpus (single Vdd, short window).
+
+    Uses the nominal voltage, where the inductive coupling regime (and
+    hence the cross-bin asymmetry) is strongest.
+    """
+    return generate_samples(
+        technology("7nm"),
+        vdds=(0.8,),
+        n_random=3,
+        seed=11,
+        window_s=200e-9,
+        dt_s=100e-12,
+    )
+
+
+class TestGenerateSamples:
+    def test_corpus_structure(self, small_corpus):
+        # 4 singles + 4 same-bin domains + 8 pairs + 3 random per Vdd.
+        assert len(small_corpus) == 19
+        for s in small_corpus:
+            assert s.vdd == 0.8
+            assert s.freq_ratio == pytest.approx(1.0)
+            assert len(s.loads) == 4
+            assert s.peak_psn_pct.shape == (4,)
+            assert np.all(s.peak_psn_pct >= s.avg_psn_pct - 1e-9)
+
+
+class TestFit:
+    def test_fit_reproduces_corpus(self, small_corpus):
+        result = fit_kernels(samples=small_corpus, kappa2_grid=(0.8, 1.0))
+        assert result.peak_rms_error_pct < 2.5
+        assert result.avg_rms_error_pct < 0.5
+        # The Fig. 3b asymmetry must be in the fitted kernel: a LOW victim
+        # suffers more from a HIGH neighbour than a HIGH victim from a
+        # HIGH neighbour of similar power.
+        kernel = result.peak_kernels.kernel_for(0.8)
+        z = kernel.z_cross
+        assert z[(ActivityBin.LOW, ActivityBin.HIGH)] > z[
+            (ActivityBin.HIGH, ActivityBin.HIGH)
+        ]
+
+    def test_fit_produces_one_kernel_per_vdd(self, small_corpus):
+        result = fit_kernels(samples=small_corpus, kappa2_grid=(0.9,))
+        assert set(result.peak_kernels.kernels) == {0.8}
+        assert set(result.avg_kernels.kernels) == {0.8}
+
+    def test_missing_vdd_raises(self, small_corpus):
+        from repro.pdn.calibrate import _fit_one_vdd
+
+        with pytest.raises(ValueError, match="no calibration samples"):
+            _fit_one_vdd(small_corpus, 0.5, "peak", (0.9,))
+
+
+class TestDefaultKernelAccuracy:
+    """The frozen defaults must track the transient model on held-out
+    configurations (they were fitted on a different corpus)."""
+
+    @pytest.mark.parametrize("vdd", [0.4, 0.8])
+    def test_fast_tracks_transient(self, vdd):
+        tech = technology("7nm")
+        power = PowerModel(tech)
+        analysis = PsnTransientAnalysis(tech)
+        fast = FastPsnModel()
+
+        def load(activity, bin_, flits):
+            return TileLoad(
+                power.core_dynamic(activity, vdd) + power.core_leakage(vdd),
+                power.router_dynamic(flits, vdd) + power.router_leakage(vdd),
+                bin_,
+            )
+
+        loads = [
+            load(0.75, ActivityBin.HIGH, 1.2),
+            load(0.6, ActivityBin.HIGH, 0.8),
+            load(0.3, ActivityBin.LOW, 1.5),
+            TileLoad.idle(),
+        ]
+        true = analysis.analyze(vdd, loads)
+        peak, avg = fast.domain_psn(vdd, loads)
+        assert float(np.max(peak)) == pytest.approx(
+            true.domain_peak_pct, rel=0.45
+        )
+        assert float(np.mean(avg)) == pytest.approx(
+            true.domain_avg_pct, rel=0.35
+        )

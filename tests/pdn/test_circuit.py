@@ -1,0 +1,197 @@
+"""Tests for the MNA circuit solver against analytic references."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.pdn.circuit import GROUND, Circuit
+
+
+class TestValidation:
+    def test_nonpositive_elements_rejected(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            c.resistor("a", "b", 0.0)
+        with pytest.raises(ValueError):
+            c.capacitor("a", "b", -1e-9)
+        with pytest.raises(ValueError):
+            c.inductor("a", "b", 0.0)
+
+    def test_transient_parameter_validation(self):
+        c = Circuit()
+        c.vsource("a", GROUND, 1.0)
+        c.resistor("a", "b", 1.0)
+        c.resistor("b", GROUND, 1.0)
+        with pytest.raises(ValueError):
+            c.transient(0.0, 1e-6)
+        with pytest.raises(ValueError):
+            c.transient(1e-3, -1e-6)
+        with pytest.raises(ValueError):
+            c.transient(1e-3, 1e-6, method="euler-forward")
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(ValueError, match="no nodes"):
+            Circuit().transient(1e-3, 1e-6)
+
+    def test_unknown_node_in_result(self):
+        c = Circuit()
+        c.vsource("a", GROUND, 1.0)
+        c.resistor("a", GROUND, 1.0)
+        res = c.transient(1e-6, 1e-7)
+        with pytest.raises(KeyError):
+            res.voltage("nope")
+
+    def test_ground_aliases(self):
+        c = Circuit()
+        c.vsource("a", "0", 1.0)
+        c.resistor("a", "gnd", 1.0)
+        res = c.transient(1e-6, 1e-7)
+        assert np.allclose(res.voltage("gnd"), 0.0)
+        assert np.allclose(res.voltage("0"), 0.0)
+        assert np.allclose(res.voltage("a"), 1.0)
+
+
+class TestDc:
+    def test_voltage_divider(self):
+        c = Circuit()
+        c.vsource("in", GROUND, 10.0)
+        c.resistor("in", "mid", 1000.0)
+        c.resistor("mid", GROUND, 1000.0)
+        op = c.operating_point()
+        assert op["mid"] == pytest.approx(5.0)
+
+    def test_current_source_into_resistor(self):
+        c = Circuit()
+        c.isource(GROUND, "n", 2.0)  # push 2 A into n
+        c.resistor("n", GROUND, 3.0)
+        op = c.operating_point()
+        assert op["n"] == pytest.approx(6.0)
+
+    def test_inductor_is_dc_short(self):
+        c = Circuit()
+        c.vsource("in", GROUND, 1.0)
+        c.resistor("in", "a", 1.0)
+        c.inductor("a", "b", 1e-9)
+        c.resistor("b", GROUND, 1.0)
+        op = c.operating_point()
+        assert op["a"] == pytest.approx(op["b"])
+        assert op["b"] == pytest.approx(0.5)
+
+    def test_time_varying_source_evaluated_at_time(self):
+        c = Circuit()
+        c.isource(GROUND, "n", lambda t: 1.0 + t * 0.0)
+        c.resistor("n", GROUND, 1.0)
+        assert c.operating_point(at_time=0.0)["n"] == pytest.approx(1.0)
+
+
+class TestTransientAnalytic:
+    def test_rc_charging_curve(self):
+        r_ohm, c_f = 1000.0, 1e-6
+        tau = r_ohm * c_f
+        c = Circuit()
+        c.vsource("in", GROUND, 1.0)
+        c.resistor("in", "out", r_ohm)
+        c.capacitor("out", GROUND, c_f)
+        c.isource("out", GROUND, lambda t: np.where(t >= 0, 0.0, 0.0))
+        # Start the cap discharged by pre-loading: at DC with the source on,
+        # the cap sits at 1 V, so instead drive the step through the source
+        # current: pull 1mA out of the node forever and check steady state.
+        res = c.transient(10 * tau, tau / 100)
+        assert res.voltage("out")[-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_rc_step_response_from_current_source(self):
+        """Node driven by a current step into an RC reaches I*R with time
+        constant R*C."""
+        r_ohm, c_f, i_a = 100.0, 1e-6, 0.01
+        tau = r_ohm * c_f
+        c = Circuit()
+        c.resistor("n", GROUND, r_ohm)
+        c.capacitor("n", GROUND, c_f)
+        c.isource(GROUND, "n", lambda t: np.where(t > 0, i_a, 0.0))
+        res = c.transient(10 * tau, tau / 200)
+        v = res.voltage("n")
+        assert v[0] == pytest.approx(0.0, abs=1e-9)
+        assert v[-1] == pytest.approx(i_a * r_ohm, rel=1e-3)
+        # Value at t = tau should be (1 - e^-1) of final.
+        idx = int(round(tau / (tau / 200)))
+        assert v[idx] == pytest.approx(i_a * r_ohm * (1 - math.exp(-1)), rel=0.02)
+
+    def test_rl_current_rise(self):
+        """Series RL driven by a voltage source: i = V/R (1 - e^{-tR/L});
+        node between R and L shows V * e^{-tR/L} ... checked via node v."""
+        r_ohm, l_h, v_in = 10.0, 1e-3, 1.0
+        tau = l_h / r_ohm
+        c = Circuit()
+        c.vsource("in", GROUND, v_in)
+        c.resistor("in", "mid", r_ohm)
+        c.inductor("mid", GROUND, l_h)
+        # DC operating point shorts the inductor -> mid starts at 0 and
+        # stays at 0 (steady state).  Perturb with a current step at mid.
+        c.isource("mid", GROUND, lambda t: np.where(t > 0, 0.05, 0.0))
+        res = c.transient(12 * tau, tau / 200)
+        v = res.voltage("mid")
+        # Initially the inductor holds its current, so the step flows
+        # through R: v jumps by -0.05*R then recovers to 0.
+        assert v[1] == pytest.approx(-0.05 * r_ohm, rel=0.05)
+        assert v[-1] == pytest.approx(0.0, abs=1e-4)
+
+    def test_rlc_ring_frequency(self):
+        """Underdamped series RLC rings at ~1/(2*pi*sqrt(LC))."""
+        l_h, c_f = 20e-12, 8.5e-9
+        f_expected = 1.0 / (2 * math.pi * math.sqrt(l_h * c_f))
+        c = Circuit()
+        c.vsource("in", GROUND, 0.8)
+        c.resistor("in", "m", 0.003)
+        c.inductor("m", "out", l_h)
+        c.capacitor("out", GROUND, c_f)
+        c.isource("out", GROUND, lambda t: np.where(t > 1e-9, 2.0, 0.0))
+        res = c.transient(80e-9, 50e-12)
+        v = res.voltage("out")
+        dev = v - v[-1]
+        start = int(2e-9 / 50e-12)
+        stop = int(40e-9 / 50e-12)
+        seg = dev[start:stop]
+        crossings = int(np.sum(np.abs(np.diff(np.sign(seg))) > 0))
+        f_measured = crossings / 2 / (len(seg) * 50e-12)
+        assert f_measured == pytest.approx(f_expected, rel=0.05)
+
+    def test_superposition(self):
+        """The network is linear: doubling the source current doubles the
+        deviation from the DC rail."""
+
+        def droop(i_amps):
+            c = Circuit()
+            c.vsource("in", GROUND, 1.0)
+            c.resistor("in", "m", 0.01)
+            c.inductor("m", "out", 1e-11)
+            c.capacitor("out", GROUND, 1e-9)
+            c.isource("out", GROUND, lambda t: i_amps * (t > 5e-10))
+            res = c.transient(50e-9, 50e-12)
+            return 1.0 - res.voltage("out").min()
+
+        assert droop(2.0) == pytest.approx(2 * droop(1.0), rel=1e-6)
+
+    def test_backward_euler_agrees_with_trapezoidal_at_steady_state(self):
+        def final(method):
+            c = Circuit()
+            c.vsource("in", GROUND, 1.0)
+            c.resistor("in", "out", 100.0)
+            c.capacitor("out", GROUND, 1e-9)
+            c.isource("out", GROUND, lambda t: 0.001 * (t > 0))
+            return c.transient(5e-6, 1e-9, method=method).voltage("out")[-1]
+
+        be = final("backward-euler")
+        trap = final("trapezoidal")
+        assert be == pytest.approx(trap, rel=1e-4)
+        assert trap == pytest.approx(1.0 - 0.001 * 100.0, rel=1e-3)
+
+    def test_result_time_axis(self):
+        c = Circuit()
+        c.vsource("a", GROUND, 1.0)
+        c.resistor("a", GROUND, 1.0)
+        res = c.transient(1e-6, 1e-7)
+        assert res.time[0] == 0.0
+        assert len(res.time) == 11
+        assert res.time[-1] == pytest.approx(1e-6)
+        assert res.voltages.shape == (11, 1)

@@ -1,0 +1,159 @@
+"""Tests for the fast interference-kernel PSN model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pdn.fast import (
+    DOMAIN_DISTANCES,
+    FastPsnModel,
+    KernelLadder,
+    PsnKernel,
+    _DEFAULT_AVG,
+    _DEFAULT_PEAK,
+)
+from repro.pdn.waveforms import ActivityBin, TileLoad
+
+
+@pytest.fixture
+def model():
+    return FastPsnModel()
+
+
+def high_load(power=0.4, router=0.05):
+    return TileLoad(power, router, ActivityBin.HIGH)
+
+
+def low_load(power=0.12, router=0.05):
+    return TileLoad(power, router, ActivityBin.LOW)
+
+
+class TestDomainDistances:
+    def test_symmetric_with_zero_diagonal(self):
+        assert np.all(DOMAIN_DISTANCES == DOMAIN_DISTANCES.T)
+        assert np.all(np.diag(DOMAIN_DISTANCES) == 0)
+
+    def test_matches_2x2_geometry(self):
+        # positions: 0=TL, 1=TR, 2=BL, 3=BR
+        assert DOMAIN_DISTANCES[0, 1] == 1
+        assert DOMAIN_DISTANCES[0, 2] == 1
+        assert DOMAIN_DISTANCES[0, 3] == 2
+        assert DOMAIN_DISTANCES[1, 2] == 2
+
+
+class TestKernelValidation:
+    def test_default_ladders_cover_dvs_range(self):
+        for ladder in (_DEFAULT_PEAK, _DEFAULT_AVG):
+            assert set(ladder.kernels) == {0.4, 0.5, 0.6, 0.7, 0.8}
+
+    def test_kappa(self):
+        k = _DEFAULT_AVG.kernel_for(0.4)
+        assert k.kappa(0) == 0.0
+        assert k.kappa(1) == 1.0
+        assert k.kappa(2) == k.kappa2
+        with pytest.raises(ValueError):
+            k.kappa(3)
+
+    def test_nearest_level_dispatch(self):
+        assert _DEFAULT_PEAK.kernel_for(0.42) is _DEFAULT_PEAK.kernels[0.4]
+        assert _DEFAULT_PEAK.kernel_for(0.76) is _DEFAULT_PEAK.kernels[0.8]
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ValueError):
+            KernelLadder(kernels={})
+
+    def test_missing_bins_rejected(self):
+        with pytest.raises(ValueError):
+            PsnKernel(
+                z_own={ActivityBin.HIGH: 1e-3},
+                z_cross=_DEFAULT_PEAK.kernel_for(0.4).z_cross,
+                z_own_router=1e-3,
+                z_cross_router=1e-3,
+                kappa2=0.9,
+            )
+
+    def test_evaluate_input_validation(self):
+        kernel = _DEFAULT_PEAK.kernel_for(0.5)
+        with pytest.raises(ValueError):
+            kernel.evaluate(0.0, [None] * 4)
+        with pytest.raises(ValueError):
+            kernel.evaluate(0.5, [None] * 3)
+
+
+class TestEvaluate:
+    def test_empty_domain_is_zero(self, model):
+        peak, avg = model.domain_psn(0.5, [None] * 4)
+        assert np.allclose(peak, 0.0)
+        assert np.allclose(avg, 0.0)
+
+    def test_idle_loads_equal_none(self, model):
+        peak_none, _ = model.domain_psn(0.5, [high_load(), None, None, None])
+        peak_idle, _ = model.domain_psn(
+            0.5, [high_load(), TileLoad.idle(), TileLoad.idle(), TileLoad.idle()]
+        )
+        assert np.allclose(peak_none, peak_idle)
+
+    def test_own_tile_dominates(self, model):
+        peak, _ = model.domain_psn(0.5, [high_load(), None, None, None])
+        assert peak[0] > peak[1]
+        assert peak[0] > peak[3]
+
+    def test_psn_grows_with_core_power(self, model):
+        p1, _ = model.domain_psn(0.5, [high_load(0.2), None, None, None])
+        p2, _ = model.domain_psn(0.5, [high_load(0.4), None, None, None])
+        assert p2[0] > p1[0]
+
+    def test_low_victim_suffers_from_high_aggressor(self, model):
+        """The Fig. 3b effect in the kernel: a LOW task next to a HIGH
+        task sees more noise than next to an equally powerful LOW task."""
+        victim = low_load()
+        high_agg = TileLoad(0.4, 0.05, ActivityBin.HIGH)
+        low_agg = TileLoad(0.4, 0.05, ActivityBin.LOW)
+        peak_hl, _ = model.domain_psn(0.5, [victim, high_agg, None, None])
+        peak_ll, _ = model.domain_psn(0.5, [victim, low_agg, None, None])
+        assert peak_hl[0] > peak_ll[0]
+
+    def test_effective_impedance_grows_with_vdd(self):
+        """Burst di/dt tracks the clock, so the fitted z_own(HIGH) rises
+        monotonically across the ladder (the Fig. 3a mechanism)."""
+        zs = [
+            _DEFAULT_PEAK.kernels[v].z_own[ActivityBin.HIGH]
+            for v in (0.4, 0.6, 0.8)
+        ]
+        assert zs[2] > zs[0]
+
+    def test_parm_vs_hm_contrast(self, model):
+        """The headline Fig. 7 contrast must be visible to the runtime:
+        an all-HIGH NTC domain is far quieter than a mixed nominal-Vdd
+        domain of the same tasks."""
+        ntc = [
+            TileLoad(0.33, 0.02, ActivityBin.HIGH),
+            TileLoad(0.32, 0.02, ActivityBin.HIGH),
+            TileLoad(0.30, 0.02, ActivityBin.HIGH),
+            TileLoad(0.31, 0.02, ActivityBin.HIGH),
+        ]
+        nominal = [
+            TileLoad(2.4, 0.3, ActivityBin.HIGH),
+            TileLoad(0.9, 0.3, ActivityBin.LOW),
+            TileLoad(1.0, 0.3, ActivityBin.LOW),
+            TileLoad(2.3, 0.3, ActivityBin.HIGH),
+        ]
+        peak_parm, _ = model.domain_psn(0.4, ntc)
+        peak_hm, _ = model.domain_psn(0.8, nominal)
+        assert float(peak_hm.max()) > 1.7 * float(peak_parm.max())
+
+    @settings(max_examples=30)
+    @given(
+        vdd=st.sampled_from([0.4, 0.5, 0.6, 0.7, 0.8]),
+        powers=st.lists(st.floats(0.0, 1.5), min_size=4, max_size=4),
+    )
+    def test_psn_nonnegative_and_finite(self, vdd, powers):
+        model = FastPsnModel()
+        loads = [
+            TileLoad(p, 0.02, ActivityBin.HIGH if i % 2 else ActivityBin.LOW)
+            for i, p in enumerate(powers)
+        ]
+        peak, avg = model.domain_psn(vdd, loads)
+        assert np.all(peak >= 0)
+        assert np.all(avg >= 0)
+        assert np.all(np.isfinite(peak))

@@ -1,0 +1,94 @@
+"""Tests for the sensor network and voltage-emergency models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pdn.emergencies import VE_THRESHOLD_PCT, VoltageEmergencyPolicy
+from repro.pdn.sensors import SensorNetwork
+
+
+class TestSensorNetwork:
+    def test_quantisation(self):
+        net = SensorNetwork(lsb_pct=0.25)
+        assert net.read(1.13) == pytest.approx(1.25)
+        assert net.read(1.12) == pytest.approx(1.0)
+        assert net.read(0.0) == 0.0
+
+    def test_clamping(self):
+        net = SensorNetwork(lsb_pct=0.25, full_scale_pct=10.0)
+        assert net.read(50.0) == pytest.approx(10.0)
+        assert net.read(-3.0) == 0.0
+
+    def test_read_array_matches_scalar(self):
+        net = SensorNetwork()
+        values = np.array([0.0, 1.13, 4.9, 30.0])
+        arr = net.read_array(values)
+        assert arr == pytest.approx([net.read(v) for v in values])
+
+    def test_update_and_latest(self):
+        net = SensorNetwork()
+        assert net.latest(5) == 0.0
+        net.update(5, 3.1)
+        assert net.latest(5) == pytest.approx(net.read(3.1))
+        snap = net.snapshot()
+        assert snap == {5: net.read(3.1)}
+        snap[5] = 99.0  # snapshot is a copy
+        assert net.latest(5) != 99.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SensorNetwork(lsb_pct=0.0)
+        with pytest.raises(ValueError):
+            SensorNetwork(lsb_pct=1.0, full_scale_pct=0.5)
+
+    @given(value=st.floats(0.0, 25.0))
+    def test_quantisation_error_bounded(self, value):
+        net = SensorNetwork(lsb_pct=0.25)
+        assert abs(net.read(value) - value) <= 0.125 + 1e-9
+
+
+class TestVoltageEmergencyPolicy:
+    def test_threshold_matches_paper(self):
+        assert VE_THRESHOLD_PCT == 5.0
+        policy = VoltageEmergencyPolicy()
+        assert not policy.is_emergency(4.99)
+        assert policy.is_emergency(5.01)
+
+    def test_rate_zero_below_threshold(self):
+        policy = VoltageEmergencyPolicy()
+        assert policy.expected_rate_hz(3.0) == 0.0
+        assert policy.expected_rate_hz(5.0) == 0.0
+
+    def test_rate_grows_superlinearly(self):
+        policy = VoltageEmergencyPolicy()
+        r1 = policy.expected_rate_hz(6.0)
+        r2 = policy.expected_rate_hz(7.0)
+        assert r2 > 2 * r1
+
+    def test_sampling_deterministic_with_seed(self):
+        policy = VoltageEmergencyPolicy()
+        a = policy.sample_emergencies(7.0, 1.0, np.random.default_rng(3))
+        b = policy.sample_emergencies(7.0, 1.0, np.random.default_rng(3))
+        assert a == b
+
+    def test_sampling_zero_cases(self):
+        policy = VoltageEmergencyPolicy()
+        rng = np.random.default_rng(0)
+        assert policy.sample_emergencies(4.0, 10.0, rng) == 0
+        assert policy.sample_emergencies(8.0, 0.0, rng) == 0
+        with pytest.raises(ValueError):
+            policy.sample_emergencies(8.0, -1.0, rng)
+
+    def test_sampling_mean_tracks_rate(self):
+        policy = VoltageEmergencyPolicy()
+        rng = np.random.default_rng(42)
+        rate = policy.expected_rate_hz(6.5)
+        counts = [policy.sample_emergencies(6.5, 1.0, rng) for _ in range(300)]
+        assert np.mean(counts) == pytest.approx(rate, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VoltageEmergencyPolicy(threshold_pct=0.0)
+        with pytest.raises(ValueError):
+            VoltageEmergencyPolicy(rate_per_pct_s=-1.0)

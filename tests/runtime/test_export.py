@@ -1,0 +1,80 @@
+"""Tests for the CSV export helpers."""
+
+import csv
+import io
+
+import pytest
+
+from repro.apps.suite import ProfileLibrary
+from repro.apps.workload import WorkloadType, generate_workload
+from repro.chip import default_chip
+from repro.core import ParmManager
+from repro.exp.frameworks import framework
+from repro.exp.runner import run_framework
+from repro.noc.routing import make_routing
+from repro.runtime import RuntimeSimulator
+from repro.runtime.export import (
+    APP_COLUMNS,
+    app_records_csv,
+    run_summary_csv,
+    write_app_records_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def metrics():
+    library = ProfileLibrary()
+    workload = generate_workload(
+        WorkloadType.MIXED, 0.1, n_apps=6, seed=3, library=library
+    )
+    sim = RuntimeSimulator(
+        default_chip(), ParmManager(), make_routing("panr"), seed=1
+    )
+    return sim.run(workload)
+
+
+class TestAppRecordsCsv:
+    def test_header_and_row_count(self, metrics):
+        rows = list(csv.reader(io.StringIO(app_records_csv(metrics))))
+        assert rows[0] == list(APP_COLUMNS)
+        assert len(rows) == 1 + len(metrics.apps)
+
+    def test_status_values(self, metrics):
+        rows = list(csv.DictReader(io.StringIO(app_records_csv(metrics))))
+        statuses = {r["status"] for r in rows}
+        assert statuses <= {"completed", "late", "dropped", "unfinished"}
+        completed_rows = [r for r in rows if r["status"] in ("completed", "late")]
+        assert len(completed_rows) == metrics.completed_count
+
+    def test_rows_sorted_by_app_id(self, metrics):
+        rows = list(csv.DictReader(io.StringIO(app_records_csv(metrics))))
+        ids = [int(r["app_id"]) for r in rows]
+        assert ids == sorted(ids)
+
+    def test_write_to_file(self, metrics, tmp_path):
+        path = tmp_path / "apps.csv"
+        write_app_records_csv(metrics, str(path))
+        # read_text translates the csv module's \r\n line endings.
+        on_disk = path.read_text().replace("\r\n", "\n")
+        assert on_disk == app_records_csv(metrics).replace("\r\n", "\n")
+
+
+class TestRunSummaryCsv:
+    def test_summary_round_trip(self):
+        result = run_framework(
+            framework("PARM+XY"),
+            WorkloadType.COMPUTE,
+            arrival_interval_s=0.2,
+            n_apps=4,
+            seeds=(1,),
+        )
+        text = run_summary_csv([result])
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 1
+        assert rows[0]["framework"] == "PARM+XY"
+        assert float(rows[0]["total_time_s"]) == pytest.approx(
+            result.total_time_s
+        )
+
+    def test_no_header_mode(self):
+        assert run_summary_csv([], header=False) == ""

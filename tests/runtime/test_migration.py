@@ -1,0 +1,117 @@
+"""Tests for the migration/defragmentation extension."""
+
+import pytest
+
+from repro.apps.suite import ProfileLibrary
+from repro.apps.workload import WorkloadType, generate_workload
+from repro.chip import default_chip
+from repro.core import ParmManager
+from repro.noc.routing import make_routing
+from repro.runtime import RuntimeSimulator
+from repro.runtime.migration import (
+    MigrationPolicy,
+    moved_task_count,
+    plan_compaction,
+)
+from repro.runtime.state import ChipState
+
+
+@pytest.fixture(scope="module")
+def library():
+    return ProfileLibrary()
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return default_chip()
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MigrationPolicy(per_task_cost_s=-1.0)
+        with pytest.raises(ValueError):
+            MigrationPolicy(max_compactions=0)
+
+
+class TestPlanCompaction:
+    def test_fragmented_state_compacts(self, library, chip):
+        """Two small apps placed at opposite chip corners leave no
+        contiguous region; compaction re-places them adjacently."""
+        profile = library.get("blackscholes")
+        state = ChipState(chip)
+        decisions = {}
+        manager = ParmManager()
+        # Place app 0 normally, app 1 manually at the far corner.
+        d0 = manager.try_map(profile, 100.0, state)
+        state.occupy(0, d0.task_to_tile, d0.vdd, d0.power_w)
+        decisions[0] = (profile, d0)
+        far = chip.domains.tiles_of(14)
+        graph = profile.graph(4)
+        d1_tiles = {t.task_id: far[i] for i, t in enumerate(graph.tasks())}
+        from repro.core.base import MappingDecision
+
+        d1 = MappingDecision(
+            vdd=d0.vdd,
+            dop=4,
+            task_to_tile=d1_tiles,
+            power_w=profile.power_w(d0.vdd, 4),
+        )
+        state.occupy(1, d1.task_to_tile, d1.vdd, d1.power_w)
+        decisions[1] = (profile, d1)
+
+        replacements = plan_compaction(state, decisions)
+        assert replacements is not None
+        assert set(replacements) == {0, 1}
+        # Operating points preserved.
+        for aid, (prof, old) in decisions.items():
+            assert replacements[aid].vdd == old.vdd
+            assert replacements[aid].dop == old.dop
+
+    def test_moved_task_count(self):
+        from repro.core.base import MappingDecision
+
+        a = MappingDecision(0.4, 4, {0: 0, 1: 1, 2: 2, 3: 3}, 1.0)
+        b = MappingDecision(0.4, 4, {0: 0, 1: 1, 2: 8, 3: 9}, 1.0)
+        assert moved_task_count(a, a) == 0
+        assert moved_task_count(a, b) == 2
+
+
+class TestRuntimeIntegration:
+    def _run(self, library, chip, migration):
+        workload = generate_workload(
+            WorkloadType.MIXED,
+            0.1,
+            n_apps=14,
+            seed=6,
+            library=library,
+        )
+        sim = RuntimeSimulator(
+            chip,
+            ParmManager(),
+            make_routing("panr"),
+            migration=migration,
+            seed=11,
+        )
+        return sim.run(workload)
+
+    def test_migration_never_hurts_completions(self, library, chip):
+        base = self._run(library, chip, migration=None)
+        migrated = self._run(library, chip, migration=MigrationPolicy())
+        assert migrated.completed_count >= base.completed_count
+        assert base.compaction_count == 0
+
+    def test_parm_needs_no_migration(self, library, chip):
+        """The module-level finding: PARM's contiguity-free allocator
+        never hits a fragmentation block, so compaction never fires -
+        the paper's "minimize the software overhead due to ... thread
+        migration" claim, measured."""
+        migrated = self._run(library, chip, migration=MigrationPolicy())
+        assert migrated.compaction_count == 0
+        assert migrated.total_migrated_tasks == 0
+
+    def test_compaction_budget_respected(self, library, chip):
+        migrated = self._run(
+            library, chip, migration=MigrationPolicy(max_compactions=1)
+        )
+        assert migrated.compaction_count <= 1

@@ -1,0 +1,125 @@
+"""Tests for the Orchestrator-style reactive migration baseline."""
+
+import pytest
+
+from repro.apps.suite import ProfileLibrary
+from repro.apps.workload import WorkloadType, generate_workload
+from repro.chip import default_chip
+from repro.core import OrchestratorManager, ParmManager
+from repro.noc.routing import make_routing
+from repro.runtime import RuntimeSimulator
+from repro.runtime.migration import ReactiveMigrationPolicy, pick_migration_target
+from repro.runtime.state import ChipState
+
+
+@pytest.fixture(scope="module")
+def library():
+    return ProfileLibrary()
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return default_chip()
+
+
+class TestMoveTask:
+    def test_move_updates_occupancy_and_domains(self, chip):
+        state = ChipState(chip)
+        state.occupy(1, {0: 0, 1: 1}, 0.8, 2.0)
+        state.move_task(1, 0, 20)
+        assert state.occupant(0) is None
+        assert state.occupant(20).task_id == 0
+        assert state.domain_vdd(chip.domains.domain_of(20)) == 0.8
+        # Domain 0 still holds task 1 at tile 1.
+        assert state.domain_vdd(0) == 0.8
+        state.move_task(1, 1, 21)
+        assert state.domain_vdd(0) is None  # now fully vacated
+
+    def test_move_validation(self, chip):
+        state = ChipState(chip)
+        state.occupy(1, {0: 0}, 0.8, 1.0)
+        state.occupy(2, {0: 40}, 0.4, 1.0)
+        with pytest.raises(ValueError, match="no task"):
+            state.move_task(1, 9, 5)
+        with pytest.raises(ValueError, match="occupied"):
+            state.move_task(1, 0, 40)
+        with pytest.raises(ValueError, match="domain"):
+            state.move_task(1, 0, 41)  # domain of 40 runs at 0.4 V
+        state.move_task(1, 0, 0)  # no-op move is fine
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReactiveMigrationPolicy(trigger_pct=0.0)
+        with pytest.raises(ValueError):
+            ReactiveMigrationPolicy(max_moves=0)
+        with pytest.raises(ValueError):
+            ReactiveMigrationPolicy(cooldown_s=-1.0)
+
+    def test_target_prefers_idle_domains(self, chip):
+        state = ChipState(chip)
+        # Occupy three tiles of domain 0; the hot tile is tile 0.
+        state.occupy(1, {0: 0, 1: 1, 2: 10}, 0.8, 2.0)
+        target = pick_migration_target(state, hot_tile=0, vdd=0.8)
+        assert target is not None
+        # An entirely idle domain exists, so the target's domain is idle.
+        d = chip.domains.domain_of(target)
+        assert all(
+            state.occupant(t) in (None,)
+            for t in chip.domains.tiles_of(d)
+        )
+
+    def test_no_target_on_full_chip(self, chip):
+        state = ChipState(chip)
+        state.occupy(1, {i: i for i in range(60)}, 0.8, 10.0)
+        assert pick_migration_target(state, 0, 0.8) is None
+
+
+class TestEndToEnd:
+    def test_reactive_scheme_cuts_emergencies_but_not_to_parm_level(
+        self, library, chip
+    ):
+        """The paper's Section 2 argument, measured: correction beats
+        no correction, prevention (PARM) beats correction."""
+        workload = generate_workload(
+            WorkloadType.MIXED,
+            0.1,
+            n_apps=10,
+            seed=1,
+            library=library,
+            deadline_slack_range=(30.0, 30.0),
+        )
+
+        def run(manager, reactive):
+            sim = RuntimeSimulator(
+                chip,
+                manager,
+                make_routing("xy"),
+                reactive_migration=reactive,
+                seed=5,
+            )
+            return sim.run(workload)
+
+        orch = run(OrchestratorManager(), None)
+        reactive = run(OrchestratorManager(), ReactiveMigrationPolicy())
+        parm = run(ParmManager(), None)
+
+        assert reactive.reactive_move_count > 0
+        assert reactive.total_ve_count < orch.total_ve_count
+        assert parm.total_ve_count < 0.2 * reactive.total_ve_count
+        assert parm.avg_psn_pct < reactive.avg_psn_pct
+
+    def test_move_budget_respected(self, library, chip):
+        workload = generate_workload(
+            WorkloadType.MIXED, 0.1, n_apps=8, seed=2, library=library
+        )
+        sim = RuntimeSimulator(
+            chip,
+            OrchestratorManager(),
+            make_routing("xy"),
+            reactive_migration=ReactiveMigrationPolicy(max_moves=3),
+            seed=5,
+        )
+        metrics = sim.run(workload)
+        assert metrics.reactive_move_count <= 3

@@ -1,0 +1,68 @@
+"""End-to-end runs on platforms beyond the paper's 10x6 / 7 nm point."""
+
+import pytest
+
+from repro.apps.suite import ProfileLibrary
+from repro.apps.workload import WorkloadType, generate_workload
+from repro.chip.cmp import ChipDescription
+from repro.chip.dvfs import VddLadder
+from repro.chip.mesh import MeshGeometry
+from repro.chip.technology import technology
+from repro.core import ParmManager
+from repro.noc.routing import make_routing
+from repro.runtime.simulator import RuntimeSimulator
+
+
+@pytest.mark.parametrize(
+    "width,height",
+    [(4, 4), (12, 8), (16, 6)],
+)
+def test_parm_runs_on_other_mesh_sizes(width, height):
+    chip = ChipDescription(
+        mesh=MeshGeometry(width, height),
+        tech=technology("7nm"),
+        vdd_ladder=VddLadder.paper_default(),
+        dark_silicon_budget_w=65.0 / 60 * width * height,
+    )
+    library = ProfileLibrary()
+    workload = generate_workload(
+        WorkloadType.MIXED,
+        0.15,
+        n_apps=5,
+        seed=1,
+        library=library,
+        deadline_slack_range=(30.0, 30.0),
+    )
+    sim = RuntimeSimulator(chip, ParmManager(), make_routing("panr"), seed=2)
+    metrics = sim.run(workload)
+    assert metrics.completed_count + metrics.dropped_count == 5
+    # On roomy chips with loose deadlines everything completes.
+    if width * height >= 60:
+        assert metrics.completed_count == 5
+
+
+@pytest.mark.parametrize("node", ["14nm", "10nm"])
+def test_parm_runs_on_other_technology_nodes(node):
+    tech = technology(node)
+    ladder = VddLadder.from_range(tech.vdd_ntc, tech.vdd_nominal, 0.1)
+    chip = ChipDescription(
+        mesh=MeshGeometry(10, 6),
+        tech=tech,
+        vdd_ladder=ladder,
+        dark_silicon_budget_w=65.0,
+    )
+    library = ProfileLibrary(tech=tech, vdds=tuple(ladder))
+    workload = generate_workload(
+        WorkloadType.COMPUTE,
+        0.15,
+        n_apps=4,
+        seed=1,
+        library=library,
+        deadline_slack_range=(30.0, 30.0),
+    )
+    sim = RuntimeSimulator(chip, ParmManager(), make_routing("panr"), seed=2)
+    metrics = sim.run(workload)
+    assert metrics.completed_count == 4
+    # PARM still prefers the node's NTC floor under loose deadlines.
+    vdds = {r.vdd for r in metrics.apps.values() if r.vdd is not None}
+    assert min(vdds) == pytest.approx(tech.vdd_ntc)

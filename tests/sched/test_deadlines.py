@@ -1,0 +1,77 @@
+"""Tests for per-task deadline assignment."""
+
+import pytest
+
+from repro.apps.graph import ApplicationGraph, TaskNode
+from repro.pdn.waveforms import ActivityBin
+from repro.sched.deadlines import assign_task_deadlines
+
+
+def chain(n, work=1.0):
+    g = ApplicationGraph()
+    for i in range(n):
+        g.add_task(TaskNode(i, ActivityBin.HIGH, work, 0.5))
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, 1.0)
+    return g
+
+
+class TestChain:
+    def test_uniform_chain_subdivides_deadline(self):
+        g = chain(4)
+        deadlines = assign_task_deadlines(g, 8.0, lambda t: 1.0)
+        assert deadlines[0] == pytest.approx(2.0)
+        assert deadlines[1] == pytest.approx(4.0)
+        assert deadlines[3] == pytest.approx(8.0)
+
+    def test_weighted_chain(self):
+        g = chain(2)
+        deadlines = assign_task_deadlines(g, 10.0, lambda t: 3.0 if t == 0 else 1.0)
+        assert deadlines[0] == pytest.approx(7.5)
+        assert deadlines[1] == pytest.approx(10.0)
+
+    def test_sink_deadline_is_app_deadline(self):
+        g = chain(5)
+        deadlines = assign_task_deadlines(g, 3.0, lambda t: 1.0)
+        assert deadlines[4] == pytest.approx(3.0)
+
+    def test_monotone_along_edges(self):
+        g = chain(6)
+        deadlines = assign_task_deadlines(g, 1.0, lambda t: float(t + 1))
+        for i in range(5):
+            assert deadlines[i] < deadlines[i + 1]
+
+
+class TestDag:
+    def test_parallel_branches_share_deadline_by_length(self):
+        # 0 -> 1 -> 3 and 0 -> 2 -> 3; task 1 is longer than task 2.
+        g = ApplicationGraph()
+        for i in range(4):
+            g.add_task(TaskNode(i, ActivityBin.HIGH, 1.0, 0.5))
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 2, 1.0)
+        g.add_edge(1, 3, 1.0)
+        g.add_edge(2, 3, 1.0)
+        times = {0: 1.0, 1: 5.0, 2: 1.0, 3: 1.0}
+        deadlines = assign_task_deadlines(g, 7.0, lambda t: times[t])
+        # Critical path 0-1-3 has length 7, so its tasks split 7 exactly.
+        assert deadlines[0] == pytest.approx(1.0)
+        assert deadlines[1] == pytest.approx(6.0)
+        assert deadlines[3] == pytest.approx(7.0)
+        # Off-critical task 2 has slack: up=2, down=1 -> 2/3 of deadline.
+        assert deadlines[2] == pytest.approx(7.0 * 2.0 / 3.0)
+
+    def test_single_task(self):
+        g = chain(1)
+        deadlines = assign_task_deadlines(g, 5.0, lambda t: 2.0)
+        assert deadlines[0] == pytest.approx(5.0)
+
+    def test_zero_time_tasks(self):
+        g = chain(2)
+        deadlines = assign_task_deadlines(g, 5.0, lambda t: 0.0)
+        assert deadlines[0] == pytest.approx(5.0)
+        assert deadlines[1] == pytest.approx(5.0)
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ValueError):
+            assign_task_deadlines(chain(2), 0.0, lambda t: 1.0)

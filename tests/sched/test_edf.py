@@ -1,0 +1,122 @@
+"""Tests for the EDF list scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.graph import ApplicationGraph, TaskNode
+from repro.pdn.waveforms import ActivityBin
+from repro.sched.edf import edf_schedule
+
+
+def make_graph(edges, n, work=None):
+    g = ApplicationGraph()
+    for i in range(n):
+        g.add_task(TaskNode(i, ActivityBin.HIGH, (work or {}).get(i, 1.0), 0.5))
+    for u, v in edges:
+        g.add_edge(u, v, 10.0)
+    return g
+
+
+class TestBasics:
+    def test_empty_graph(self):
+        sched = edf_schedule(ApplicationGraph(), 4, lambda t: 1.0)
+        assert sched.makespan == 0.0
+        assert sched.deadline_met
+
+    def test_single_task(self):
+        g = make_graph([], 1)
+        sched = edf_schedule(g, 1, lambda t: 2.5)
+        assert sched.makespan == pytest.approx(2.5)
+        assert sched.tasks[0].start == 0.0
+
+    def test_core_count_validated(self):
+        with pytest.raises(ValueError):
+            edf_schedule(make_graph([], 1), 0, lambda t: 1.0)
+
+    def test_chain_is_sequential(self):
+        g = make_graph([(0, 1), (1, 2)], 3)
+        sched = edf_schedule(g, 3, lambda t: 1.0)
+        assert sched.makespan == pytest.approx(3.0)
+        by = sched.by_task()
+        assert by[1].start >= by[0].finish
+        assert by[2].start >= by[1].finish
+
+    def test_independent_tasks_run_in_parallel(self):
+        g = make_graph([], 4)
+        sched = edf_schedule(g, 4, lambda t: 1.0)
+        assert sched.makespan == pytest.approx(1.0)
+
+    def test_fewer_cores_serialise(self):
+        g = make_graph([], 4)
+        sched = edf_schedule(g, 2, lambda t: 1.0)
+        assert sched.makespan == pytest.approx(2.0)
+
+    def test_comm_delay_on_cross_core_edges(self):
+        g = make_graph([(0, 1)], 2)
+        no_comm = edf_schedule(g, 2, lambda t: 1.0)
+        with_comm = edf_schedule(g, 2, lambda t: 1.0, comm_delay=lambda s, d: 0.5)
+        assert with_comm.makespan == pytest.approx(no_comm.makespan + 0.5)
+
+
+class TestEdfOrder:
+    def test_earliest_deadline_runs_first_on_contention(self):
+        """Two ready tasks, one core: the longer-downstream task (earlier
+        derived deadline) must go first."""
+        # 0 and 1 are sources; 1 feeds a long chain so it gets the earlier
+        # deadline.
+        g = make_graph([(1, 2), (2, 3)], 4, work={0: 1.0, 1: 1.0, 2: 5.0, 3: 5.0})
+        sched = edf_schedule(g, 1, lambda t: g.task(t).work_cycles)
+        by = sched.by_task()
+        assert by[1].start < by[0].start
+
+    def test_deadline_met_flag(self):
+        g = make_graph([(0, 1)], 2)
+        ok = edf_schedule(g, 2, lambda t: 1.0, app_deadline=10.0)
+        assert ok.deadline_met
+        tight = edf_schedule(g, 2, lambda t: 1.0, app_deadline=1.5)
+        assert not tight.deadline_met
+
+    def test_deterministic(self):
+        g = make_graph([(0, 2), (1, 2), (0, 3)], 4)
+        a = edf_schedule(g, 2, lambda t: 1.0)
+        b = edf_schedule(g, 2, lambda t: 1.0)
+        assert a == b
+
+
+class TestInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        widths=st.lists(st.integers(1, 4), min_size=2, max_size=4),
+        cores=st.integers(1, 8),
+        seed=st.integers(0, 50),
+    )
+    def test_schedule_respects_precedence_and_capacity(self, widths, cores, seed):
+        rng = np.random.default_rng(seed)
+        g = ApplicationGraph.layered(
+            layer_sizes=widths,
+            rng=rng,
+            work_cycles_range=(1.0, 5.0),
+            high_fraction=0.5,
+            volume_range=(1.0, 10.0),
+        )
+        sched = edf_schedule(
+            g,
+            cores,
+            task_time=lambda t: g.task(t).work_cycles,
+            comm_delay=lambda s, d: 0.3,
+        )
+        by = sched.by_task()
+        assert len(by) == g.task_count
+        # Precedence: successors start after predecessors finish.
+        for u, v, _ in g.edges():
+            assert by[v].start >= by[u].finish - 1e-9
+        # Capacity: no core runs two tasks at once.
+        for core in range(cores):
+            intervals = sorted(
+                (t.start, t.finish) for t in sched.tasks if t.core == core
+            )
+            for (s1, f1), (s2, f2) in zip(intervals, intervals[1:]):
+                assert s2 >= f1 - 1e-9
+        # Makespan is the max finish.
+        assert sched.makespan == pytest.approx(max(t.finish for t in sched.tasks))
