@@ -1,0 +1,45 @@
+"""Fault sweep: graceful degradation under injected component faults.
+
+Regenerates the robustness study: the Fig. 8-style over-subscribed
+workload replayed under a seeded fault campaign (sensor faults, link and
+router failures, VRM droop, permanent tile failures) whose intensity is
+swept from 0 to 1 with coupled thinning (higher intensities replay a
+strict superset of the events).
+
+Expected shape: completions never increase with fault intensity, the
+PSN-aware PARM+PANR stack completes at least as many applications as
+HM+XY at every intensity, and the whole sweep finishes without a single
+exception - faults degrade the run, they never crash it.
+"""
+
+from repro.exp.faults import fault_sweep, print_fault_sweep
+
+
+def test_fault_sweep(benchmark, once):
+    rows = once(benchmark, fault_sweep)
+    print_fault_sweep(rows)
+
+    by = {(r.framework, r.intensity): r for r in rows}
+    intensities = sorted({r.intensity for r in rows})
+    frameworks = sorted({r.framework for r in rows})
+    assert intensities[0] == 0.0
+
+    for fw in frameworks:
+        # Monotone degradation: more faults never complete more apps.
+        completed = [by[(fw, i)].completed for i in intensities]
+        assert all(
+            earlier >= later
+            for earlier, later in zip(completed, completed[1:])
+        ), (fw, completed)
+        # The fault-free point is genuinely fault-free...
+        assert by[(fw, 0.0)].fault_count == 0
+        assert by[(fw, 0.0)].failed == 0
+        # ...and full intensity injects a real campaign.
+        assert by[(fw, 1.0)].fault_count > 0
+
+    for intensity in intensities:
+        parm = by[("PARM+PANR", intensity)]
+        hm = by[("HM+XY", intensity)]
+        # Graceful degradation keeps the PSN-aware stack ahead of the
+        # baseline at every fault load.
+        assert parm.completed >= hm.completed, intensity

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Fault injection: run one workload through a seeded fault campaign.
+
+Samples a deterministic :class:`repro.faults.FaultCampaign` (sensor
+faults, link/router failures, VRM droop episodes, permanent tile
+failures), replays it against the PARM+PANR stack, and shows how the
+runtime degrades gracefully: PANR falls back toward XY where sensor
+readings cannot be trusted, unroutable applications are re-mapped around
+dead links, and tile failures trigger checkpoint rollback plus
+bounded-retry re-mapping instead of crashing the run.
+
+Run:  python examples/fault_campaign.py
+"""
+
+import numpy as np
+
+from repro.apps.workload import WorkloadType, generate_workload
+from repro.chip import default_chip
+from repro.core import ParmManager
+from repro.faults import DEFAULT_FAULT_RATES, FaultCampaign
+from repro.noc.routing import make_routing
+from repro.runtime.export import app_records_csv
+from repro.runtime.simulator import RuntimeSimulator
+
+
+def main():
+    chip = default_chip()
+    workload = generate_workload(
+        WorkloadType.MIXED, arrival_interval_s=0.1, n_apps=10, seed=1
+    )
+    horizon_s = workload[-1].arrival_s + 3.0
+
+    # One seeded generator -> one reproducible fault schedule.  The same
+    # seed at a lower intensity yields a strict subset of these events.
+    rng = np.random.default_rng(42)
+    campaign = FaultCampaign.sample(
+        chip,
+        horizon_s,
+        rng,
+        rates=DEFAULT_FAULT_RATES.scaled(3.0),
+        intensity=1.0,
+    )
+    print(f"Sampled campaign: {len(campaign)} events over {horizon_s:.1f}s")
+    for ev in campaign.events:
+        window = "permanent" if ev.permanent else f"{ev.duration_s * 1e3:.0f}ms"
+        print(
+            f"  t={ev.time_s:7.3f}s  {ev.kind.value:<13s} "
+            f"target={ev.target!r:<12} {window}"
+        )
+
+    sim = RuntimeSimulator(
+        chip,
+        ParmManager(),
+        make_routing("panr"),
+        faults=campaign,
+        seed=7,
+    )
+    metrics = sim.run(workload)
+
+    print(
+        f"\nOutcome: {metrics.completed_count} completed "
+        f"({metrics.degraded_count} after re-mapping), "
+        f"{metrics.dropped_count} dropped, {metrics.failed_count} failed"
+    )
+    print(
+        f"Faults injected: {metrics.fault_count}; successful re-maps: "
+        f"{metrics.remap_count}; backoff retries: {metrics.remap_retry_count}"
+    )
+    print("\nPer-application lifecycle:")
+    print(app_records_csv(metrics))
+
+
+if __name__ == "__main__":
+    main()

@@ -31,7 +31,10 @@ def main(argv=None) -> int:
         "--sections",
         nargs="+",
         metavar="SECTION",
-        help="subset of: fig1 fig3a fig3b fig67 fig8 overhead ablations",
+        help=(
+            "subset of: fig1 fig3a fig3b fig67 fig8 overhead ablations "
+            "extensions faults"
+        ),
     )
     parser.add_argument(
         "--output",

@@ -68,3 +68,28 @@ class ResourceManager(abc.ABC):
             free up, and drops the application once its deadline can no
             longer be met).
         """
+
+    def try_remap(
+        self,
+        profile: ApplicationProfile,
+        deadline_s: float,
+        state: ChipState,
+    ) -> Optional[MappingDecision]:
+        """Re-map an application evicted by a permanent fault.
+
+        Called by the runtime's recovery path after a tile or router
+        failure (or an unroutable NoC flow) forced the application off
+        its tiles: the chip state already excludes the failed hardware,
+        so a fresh mapping decision automatically routes around it.  The
+        default delegates to :meth:`try_map` - the manager re-runs its
+        full operating-point search against the degraded chip; managers
+        may override to bias recovery placements (e.g. away from fault
+        clusters).
+
+        Returns:
+            A fresh :class:`MappingDecision`, or ``None`` when the
+            degraded chip cannot host the application right now (the
+            runtime retries with exponential backoff, then fails the
+            application cleanly).
+        """
+        return self.try_map(profile, deadline_s, state)

@@ -8,6 +8,8 @@
 * :mod:`repro.exp.ablations`  - the buffer-threshold (B), DoP-cap,
   PARM-component, DsPB and checkpoint-period studies;
 * :mod:`repro.exp.guardband`  - guardband/decap savings analysis;
+* :mod:`repro.exp.faults`     - fault-intensity sweep (robustness of
+  the frameworks under injected component faults);
 * :mod:`repro.exp.report`     - the ``python -m repro`` one-shot report;
 * :mod:`repro.exp.viz`        - ASCII chip/PSN renderers.
 """
@@ -15,6 +17,7 @@
 from repro.exp.frameworks import FRAMEWORKS, Framework, framework
 from repro.exp.runner import FrameworkResult, run_framework
 from repro.exp import ablations
+from repro.exp import faults
 from repro.exp import figures
 from repro.exp import guardband
 from repro.exp import report
@@ -28,6 +31,7 @@ __all__ = [
     "run_framework",
     "figures",
     "ablations",
+    "faults",
     "guardband",
     "report",
     "viz",

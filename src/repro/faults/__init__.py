@@ -1,0 +1,39 @@
+"""Fault-injection campaigns and graceful-degradation support.
+
+* :mod:`repro.faults.events`   - the fault taxonomy (sensors, links,
+  routers, VRM droop, tiles) as scheduled :class:`FaultEvent` objects;
+* :mod:`repro.faults.campaign` - seeded, deterministic campaigns, with
+  Poisson sampling coupled across intensities for monotone sweeps;
+* :mod:`repro.faults.state`    - the active-fault view the runtime and
+  NoC model consult;
+* :mod:`repro.faults.recovery` - bounded-retry re-mapping policy.
+
+Fault support is strictly opt-in: a runtime without a campaign (or with
+an empty one) behaves bit-identically to the fault-free simulator.
+"""
+
+from repro.faults.campaign import (
+    DEFAULT_FAULT_RATES,
+    FaultCampaign,
+    FaultRates,
+)
+from repro.faults.events import (
+    PERMANENT_FAULT_KINDS,
+    SENSOR_FAULT_KINDS,
+    FaultEvent,
+    FaultKind,
+)
+from repro.faults.recovery import RecoveryPolicy
+from repro.faults.state import FaultState
+
+__all__ = [
+    "DEFAULT_FAULT_RATES",
+    "FaultCampaign",
+    "FaultEvent",
+    "FaultKind",
+    "FaultRates",
+    "FaultState",
+    "PERMANENT_FAULT_KINDS",
+    "RecoveryPolicy",
+    "SENSOR_FAULT_KINDS",
+]

@@ -1,0 +1,242 @@
+"""Seeded, deterministic fault-injection campaigns.
+
+A :class:`FaultCampaign` is an immutable, time-sorted list of
+:class:`~repro.faults.events.FaultEvent` objects.  Two constructors:
+
+* :meth:`FaultCampaign.scheduled` wraps an explicit event list (directed
+  tests, worst-case scenarios);
+* :meth:`FaultCampaign.sample` draws events from per-category Poisson
+  processes out of one ``numpy.random.Generator`` seed.
+
+Sampling is *coupled across intensities* by thinning: events are always
+drawn at the full category rate, each gets one uniform acceptance draw,
+and an event survives iff its draw falls below ``intensity``.  Two
+campaigns sampled with the same seed and intensities ``a <= b``
+therefore satisfy ``events(a) ⊆ events(b)`` - the property that makes
+fault-sweep degradation curves monotone by construction rather than by
+luck of independent re-sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.chip.cmp import ChipDescription
+from repro.faults.events import FaultEvent, FaultKind
+from repro.noc.topology import MeshTopology
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Chip-wide expected fault occurrences per second, by category.
+
+    Rates are for the *whole chip* (targets are drawn uniformly), at
+    full intensity (``intensity=1.0``).  Durations are means of
+    exponential draws; magnitudes are fixed per campaign.
+
+    Attributes:
+        sensor_hz: Transient sensor faults (stuck / dead / drifting,
+            equiprobable) per second.
+        link_hz: Transient link failures per second.
+        router_hz: Permanent router failures per second.
+        droop_hz: VRM droop episodes per second.
+        tile_hz: Permanent tile failures per second.
+        sensor_duration_s: Mean duration of a transient sensor fault.
+        link_duration_s: Mean duration of a link failure.
+        droop_duration_s: Mean duration of a droop episode.
+        droop_pct: PSN-floor raise of a droop episode (percent of Vdd).
+        drift_pct_per_s: Drift rate of a drifting sensor.
+        stuck_pct: Reading a stuck sensor latches (percent of Vdd).
+    """
+
+    sensor_hz: float = 0.0
+    link_hz: float = 0.0
+    router_hz: float = 0.0
+    droop_hz: float = 0.0
+    tile_hz: float = 0.0
+    sensor_duration_s: float = 2.0
+    link_duration_s: float = 1.0
+    droop_duration_s: float = 0.5
+    droop_pct: float = 3.0
+    drift_pct_per_s: float = 1.0
+    stuck_pct: float = 0.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if not np.isfinite(value):
+                raise ValueError(f"{f.name} must be finite")
+        for name in ("sensor_hz", "link_hz", "router_hz", "droop_hz", "tile_hz"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        for name in ("sensor_duration_s", "link_duration_s", "droop_duration_s"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.droop_pct <= 0:
+            raise ValueError("droop_pct must be positive")
+        if self.stuck_pct < 0:
+            raise ValueError("stuck_pct must be non-negative")
+
+    def scaled(self, factor: float) -> "FaultRates":
+        """A copy with every rate multiplied by ``factor``."""
+        if factor < 0 or not np.isfinite(factor):
+            raise ValueError("factor must be finite and non-negative")
+        return replace(
+            self,
+            sensor_hz=self.sensor_hz * factor,
+            link_hz=self.link_hz * factor,
+            router_hz=self.router_hz * factor,
+            droop_hz=self.droop_hz * factor,
+            tile_hz=self.tile_hz * factor,
+        )
+
+
+#: A plausible "harsh environment" reference point: a handful of sensor
+#: and PDN episodes plus the occasional hard failure over a multi-second
+#: run on a 60-tile chip.
+DEFAULT_FAULT_RATES = FaultRates(
+    sensor_hz=0.8,
+    link_hz=0.3,
+    router_hz=0.05,
+    droop_hz=0.6,
+    tile_hz=0.1,
+)
+
+
+@dataclass(frozen=True)
+class FaultCampaign:
+    """An immutable, time-sorted fault-injection schedule."""
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=FaultEvent.sort_key))
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def count(self, kind: FaultKind) -> int:
+        """Number of scheduled events of one kind."""
+        return sum(1 for e in self.events if e.kind is kind)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def scheduled(cls, events: Sequence[FaultEvent]) -> "FaultCampaign":
+        """Campaign from an explicit event list (sorted automatically)."""
+        return cls(events=tuple(events))
+
+    @classmethod
+    def sample(
+        cls,
+        chip: ChipDescription,
+        horizon_s: float,
+        rng: Union[int, np.random.Generator],
+        rates: FaultRates = DEFAULT_FAULT_RATES,
+        intensity: float = 1.0,
+    ) -> "FaultCampaign":
+        """Draw a campaign from seeded Poisson processes.
+
+        Args:
+            chip: Platform (supplies tile / link / domain targets).
+            horizon_s: Injection horizon; no event starts past it.
+            rng: Seed or explicit ``numpy.random.Generator``.
+            rates: Full-intensity category rates.
+            intensity: Thinning factor in [0, 1].  Campaigns drawn with
+                the same seed are *nested* across intensities (see the
+                module docstring), so a sweep over intensities degrades
+                monotonically by construction.
+
+        Returns:
+            The sampled campaign (empty at ``intensity=0``).
+        """
+        if horizon_s <= 0 or not np.isfinite(horizon_s):
+            raise ValueError("horizon_s must be positive and finite")
+        if not 0.0 <= intensity <= 1.0:
+            raise ValueError("intensity must be in [0, 1]")
+        gen = (
+            rng
+            if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(rng)
+        )
+        topo = MeshTopology(chip.mesh)
+        links = topo.links()
+        events = []
+
+        def arrivals(rate_hz: float):
+            """Poisson arrival times over the horizon at the full rate."""
+            times = []
+            t = 0.0
+            if rate_hz <= 0:
+                return times
+            while True:
+                t += float(gen.exponential(1.0 / rate_hz))
+                if t >= horizon_s:
+                    return times
+                times.append(t)
+
+        # Every random draw happens regardless of acceptance, so the
+        # stream - and hence the kept subset - is identical across
+        # intensities with one seed.
+        sensor_kinds = (
+            FaultKind.SENSOR_STUCK,
+            FaultKind.SENSOR_DEAD,
+            FaultKind.SENSOR_DRIFT,
+        )
+        for t in arrivals(rates.sensor_hz):
+            keep = float(gen.uniform()) < intensity
+            tile = int(gen.integers(chip.tile_count))
+            kind = sensor_kinds[int(gen.integers(3))]
+            duration = float(gen.exponential(rates.sensor_duration_s))
+            magnitude = {
+                FaultKind.SENSOR_STUCK: rates.stuck_pct,
+                FaultKind.SENSOR_DEAD: 0.0,
+                FaultKind.SENSOR_DRIFT: rates.drift_pct_per_s,
+            }[kind]
+            if keep:
+                events.append(
+                    FaultEvent(kind, t, tile, max(duration, 1e-6), magnitude)
+                )
+        for t in arrivals(rates.link_hz):
+            keep = float(gen.uniform()) < intensity
+            link = links[int(gen.integers(len(links)))]
+            duration = float(gen.exponential(rates.link_duration_s))
+            if keep:
+                events.append(
+                    FaultEvent(FaultKind.LINK_FAIL, t, link, max(duration, 1e-6))
+                )
+        for t in arrivals(rates.router_hz):
+            keep = float(gen.uniform()) < intensity
+            tile = int(gen.integers(chip.tile_count))
+            if keep:
+                events.append(FaultEvent(FaultKind.ROUTER_FAIL, t, tile))
+        for t in arrivals(rates.droop_hz):
+            keep = float(gen.uniform()) < intensity
+            domain = int(gen.integers(chip.domain_count))
+            duration = float(gen.exponential(rates.droop_duration_s))
+            if keep:
+                events.append(
+                    FaultEvent(
+                        FaultKind.VRM_DROOP,
+                        t,
+                        domain,
+                        max(duration, 1e-6),
+                        rates.droop_pct,
+                    )
+                )
+        for t in arrivals(rates.tile_hz):
+            keep = float(gen.uniform()) < intensity
+            tile = int(gen.integers(chip.tile_count))
+            if keep:
+                events.append(FaultEvent(FaultKind.TILE_FAIL, t, tile))
+        return cls.scheduled(events)

@@ -1,0 +1,144 @@
+"""Fault taxonomy for the fault-injection subsystem.
+
+PARM already treats *noise-induced* faults (voltage emergencies) as
+first-class events; this module adds the component-failure taxonomy the
+related NoC verification literature (Roberts et al., Waddoups et al.)
+centres on: sensors, links, routers, voltage regulators and whole tiles
+can misbehave, transiently or permanently.
+
+A :class:`FaultEvent` is a *scheduled* occurrence: the campaign model
+(:mod:`repro.faults.campaign`) produces them either from an explicit
+schedule or from seeded Poisson processes, and the runtime applies and
+expires them through :class:`repro.faults.state.FaultState`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.noc.topology import Direction
+
+
+class FaultKind(enum.Enum):
+    """What breaks.
+
+    Sensor faults model the on-die PSN sensor macros:
+
+    * ``SENSOR_STUCK``: the sensor latches one code forever (stuck-at);
+      detected by the sensor's self-test, so consumers know to distrust
+      the reading.
+    * ``SENSOR_DEAD``: the sensor stops responding; the last latched
+      reading goes stale.  Detected (a missing heartbeat is visible).
+    * ``SENSOR_DRIFT``: the reading drifts away from the true value at a
+      constant rate - a *silent* fault: consumers cannot tell.
+
+    NoC faults:
+
+    * ``LINK_FAIL``: one unidirectional mesh link stops carrying flits.
+    * ``ROUTER_FAIL``: a router dies; no traffic can traverse the tile
+      and the tile can no longer host a task (its NoC access is gone).
+      Permanent.
+
+    Power-delivery faults:
+
+    * ``VRM_DROOP``: a voltage-regulator episode raises the PSN floor of
+      a whole power domain for its duration.
+
+    Compute faults:
+
+    * ``TILE_FAIL``: a tile (core) fails permanently; the occupying task
+      loses state back to its last checkpoint and must be re-mapped.
+    """
+
+    SENSOR_STUCK = "sensor_stuck"
+    SENSOR_DEAD = "sensor_dead"
+    SENSOR_DRIFT = "sensor_drift"
+    LINK_FAIL = "link_fail"
+    ROUTER_FAIL = "router_fail"
+    VRM_DROOP = "vrm_droop"
+    TILE_FAIL = "tile_fail"
+
+
+#: Kinds that target the PSN sensor of one tile.
+SENSOR_FAULT_KINDS = frozenset(
+    {FaultKind.SENSOR_STUCK, FaultKind.SENSOR_DEAD, FaultKind.SENSOR_DRIFT}
+)
+
+#: Kinds that are always permanent (no recovery of the component).
+PERMANENT_FAULT_KINDS = frozenset({FaultKind.ROUTER_FAIL, FaultKind.TILE_FAIL})
+
+#: Target type: a tile id, a domain id, or a ``(tile, Direction)`` link.
+FaultTarget = Union[int, Tuple[int, Direction]]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault occurrence.
+
+    Attributes:
+        kind: What breaks.
+        time_s: Injection time (seconds, simulation clock).
+        target: Tile id (sensor/router/tile kinds), domain id
+            (``VRM_DROOP``) or ``(tile, Direction)`` (``LINK_FAIL``).
+        duration_s: Transient fault duration; ``None`` means permanent.
+            ``ROUTER_FAIL`` and ``TILE_FAIL`` must be permanent;
+            ``VRM_DROOP`` must be transient.
+        magnitude: Kind-specific payload: the stuck reading (percent of
+            Vdd) for ``SENSOR_STUCK``, the drift rate (percent of Vdd
+            per second) for ``SENSOR_DRIFT``, the PSN-floor raise
+            (percent of Vdd) for ``VRM_DROOP``; unused otherwise.
+    """
+
+    kind: FaultKind
+    time_s: float
+    target: FaultTarget
+    duration_s: Optional[float] = None
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.time_s) or self.time_s < 0:
+            raise ValueError("time_s must be finite and non-negative")
+        if self.duration_s is not None and (
+            not math.isfinite(self.duration_s) or self.duration_s <= 0
+        ):
+            raise ValueError("duration_s must be positive (or None)")
+        if not math.isfinite(self.magnitude):
+            raise ValueError("magnitude must be finite")
+        if self.kind in PERMANENT_FAULT_KINDS and self.duration_s is not None:
+            raise ValueError(f"{self.kind.value} faults are permanent")
+        if self.kind is FaultKind.VRM_DROOP:
+            if self.duration_s is None:
+                raise ValueError("VRM droop episodes must have a duration")
+            if self.magnitude <= 0:
+                raise ValueError("VRM droop magnitude must be positive")
+        if self.kind is FaultKind.LINK_FAIL:
+            if (
+                not isinstance(self.target, tuple)
+                or len(self.target) != 2
+                or not isinstance(self.target[1], Direction)
+            ):
+                raise ValueError(
+                    "LINK_FAIL target must be a (tile, Direction) pair"
+                )
+        elif not isinstance(self.target, (int,)) or isinstance(
+            self.target, bool
+        ):
+            raise ValueError(f"{self.kind.value} target must be a tile/domain id")
+
+    @property
+    def permanent(self) -> bool:
+        return self.duration_s is None
+
+    @property
+    def end_s(self) -> float:
+        """When the fault clears (``inf`` for permanent faults)."""
+        if self.duration_s is None:
+            return math.inf
+        return self.time_s + self.duration_s
+
+    def sort_key(self) -> Tuple:
+        """Deterministic ordering (time, kind, target repr)."""
+        return (self.time_s, self.kind.value, repr(self.target))

@@ -1,0 +1,92 @@
+"""Active-fault view the runtime consults while simulating.
+
+:class:`FaultState` folds applied :class:`~repro.faults.events.FaultEvent`
+objects into the queryable sets the degradation paths consume: dead
+links and routers for the NoC model, failed tiles for the mappers, a
+per-tile PSN floor for VRM droop episodes.  Sensor faults are pushed
+straight into the :class:`~repro.pdn.sensors.SensorNetwork`, which owns
+per-tile sensor fault state and staleness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+import numpy as np
+
+from repro.chip.cmp import ChipDescription
+from repro.faults.events import SENSOR_FAULT_KINDS, FaultEvent, FaultKind
+from repro.noc.topology import Direction
+from repro.pdn.sensors import SensorFault, SensorNetwork
+
+#: FaultKind -> SensorFault.kind translation.
+_SENSOR_KIND = {
+    FaultKind.SENSOR_STUCK: "stuck",
+    FaultKind.SENSOR_DEAD: "dead",
+    FaultKind.SENSOR_DRIFT: "drift",
+}
+
+
+class FaultState:
+    """Mutable view of which components are currently broken."""
+
+    def __init__(self, chip: ChipDescription):
+        self._chip = chip
+        self.dead_links: Set[Tuple[int, Direction]] = set()
+        self.dead_routers: Set[int] = set()
+        self.failed_tiles: Set[int] = set()
+        #: Per-tile PSN-floor raise from active VRM droop episodes.
+        self.droop_pct = np.zeros(chip.tile_count)
+        self.faults_applied = 0
+
+    @property
+    def any_noc_faults(self) -> bool:
+        return bool(self.dead_links or self.dead_routers)
+
+    def apply(
+        self, event: FaultEvent, sensors: Optional[SensorNetwork] = None
+    ) -> None:
+        """Fold one fault occurrence into the active view."""
+        kind = event.kind
+        if kind in SENSOR_FAULT_KINDS:
+            if sensors is not None:
+                sensors.set_fault(
+                    int(event.target),
+                    SensorFault(
+                        kind=_SENSOR_KIND[kind],
+                        value_pct=event.magnitude,
+                        since_s=event.time_s,
+                    ),
+                )
+        elif kind is FaultKind.LINK_FAIL:
+            self.dead_links.add(event.target)
+        elif kind is FaultKind.ROUTER_FAIL:
+            tile = int(event.target)
+            self.dead_routers.add(tile)
+            self.failed_tiles.add(tile)
+        elif kind is FaultKind.TILE_FAIL:
+            self.failed_tiles.add(int(event.target))
+        elif kind is FaultKind.VRM_DROOP:
+            for tile in self._chip.domains.tiles_of(int(event.target)):
+                self.droop_pct[tile] += event.magnitude
+        self.faults_applied += 1
+
+    def expire(
+        self, event: FaultEvent, sensors: Optional[SensorNetwork] = None
+    ) -> None:
+        """Undo a transient fault at its end time (no-op if permanent)."""
+        if event.permanent:
+            return
+        kind = event.kind
+        if kind in SENSOR_FAULT_KINDS:
+            if sensors is not None:
+                # Clear only "our" fault: a later fault on the same tile
+                # must survive this expiry (last fault wins).
+                sensors.clear_fault(int(event.target), since_s=event.time_s)
+        elif kind is FaultKind.LINK_FAIL:
+            self.dead_links.discard(event.target)
+        elif kind is FaultKind.VRM_DROOP:
+            for tile in self._chip.domains.tiles_of(int(event.target)):
+                self.droop_pct[tile] = max(
+                    0.0, self.droop_pct[tile] - event.magnitude
+                )

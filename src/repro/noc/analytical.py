@@ -25,7 +25,7 @@ the cycle-level simulator, so the two models express one policy;
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -57,11 +57,18 @@ class Flow:
 
 @dataclass
 class FlowStats:
-    """Per-flow results of an analytical evaluation."""
+    """Per-flow results of an analytical evaluation.
+
+    ``unroutable`` marks a flow that cannot reach its destination under
+    the active fault set (dead endpoint router, or every permissible
+    direction dead somewhere along the minimal-path DAG); its other
+    statistics then describe only the reachable prefix.
+    """
 
     avg_hops: float
     header_latency_cycles: float
     max_rho: float
+    unroutable: bool = False
 
     @property
     def latency_scale(self) -> float:
@@ -86,6 +93,11 @@ class NocLoadReport:
     link_rho: Dict[Tuple[int, Direction], float]
     flows: List[FlowStats]
     saturated: bool
+
+    @property
+    def unroutable_flow_indices(self) -> List[int]:
+        """Input-order indices of flows the fault set made unroutable."""
+        return [i for i, f in enumerate(self.flows) if f.unroutable]
 
     @property
     def avg_latency_cycles(self) -> float:
@@ -152,6 +164,9 @@ class AnalyticalNocModel:
         flows: Sequence[Flow],
         psn_pct: Optional[np.ndarray] = None,
         per_hop_cycles: float = 3.0,
+        psn_valid: Optional[np.ndarray] = None,
+        dead_links: Optional[Set[Tuple[int, Direction]]] = None,
+        dead_routers: Optional[Set[int]] = None,
     ) -> NocLoadReport:
         """Evaluate the network under a set of flows.
 
@@ -160,6 +175,19 @@ class AnalyticalNocModel:
             psn_pct: Per-tile PSN sensor readings consumed by PSN-aware
                 policies (zeros if omitted).
             per_hop_cycles: Router pipeline latency per hop.
+            psn_valid: Per-tile boolean mask; False marks a sensor
+                reading as untrustworthy (detected fault or stale), so
+                PSN-aware policies fall back to deterministic routing at
+                the affected hops.  ``None`` means all readings valid.
+            dead_links: Failed unidirectional links - no flow traverses
+                them; adaptive policies route around them where the
+                minimal-path DAG allows.
+            dead_routers: Failed routers - no flow traverses, originates
+                at or terminates at them.
+
+        A flow that cannot reach its destination under the fault set is
+        flagged :attr:`FlowStats.unroutable` instead of raising, so the
+        runtime can re-map the owning application.
 
         Returns:
             The :class:`NocLoadReport`.
@@ -170,6 +198,12 @@ class AnalyticalNocModel:
         psn_pct = np.asarray(psn_pct, dtype=float)
         if psn_pct.shape != (n_tiles,):
             raise ValueError(f"psn_pct must have shape ({n_tiles},)")
+        if psn_valid is not None:
+            psn_valid = np.asarray(psn_valid, dtype=bool)
+            if psn_valid.shape != (n_tiles,):
+                raise ValueError(f"psn_valid must have shape ({n_tiles},)")
+        dead_links = dead_links or set()
+        dead_routers = dead_routers or set()
         for f in flows:
             self._topo.mesh._check_tile(f.src)
             self._topo.mesh._check_tile(f.dst)
@@ -184,10 +218,13 @@ class AnalyticalNocModel:
         ctx_router = np.zeros(n_tiles)
         per_flow_splits: List[Dict[int, Dict[Direction, float]]] = []
 
+        unroutable: List[bool] = [False] * len(flows)
         for it in range(self._iterations):
-            contexts = self._build_contexts(ctx_link, ctx_router, psn_pct)
-            link_load, router_load, per_flow_splits = self._propagate(
-                flows, contexts
+            contexts = self._build_contexts(
+                ctx_link, ctx_router, psn_pct, psn_valid
+            )
+            link_load, router_load, per_flow_splits, unroutable = (
+                self._propagate(flows, contexts, dead_links, dead_routers)
             )
             blend = 0.5 if it else 1.0
             keys = set(ctx_link) | set(link_load)
@@ -207,8 +244,8 @@ class AnalyticalNocModel:
             for load in link_load.values()
         )
         flow_stats = [
-            self._flow_latency(f, split, link_rho, per_hop_cycles)
-            for f, split in zip(flows, per_flow_splits)
+            self._flow_latency(f, split, link_rho, per_hop_cycles, blocked)
+            for f, split, blocked in zip(flows, per_flow_splits, unroutable)
         ]
         return NocLoadReport(
             router_flits_per_cycle=router_load,
@@ -226,6 +263,7 @@ class AnalyticalNocModel:
         link_load: Dict[Tuple[int, Direction], float],
         router_load: np.ndarray,
         psn_pct: np.ndarray,
+        psn_valid: Optional[np.ndarray] = None,
     ) -> List[RoutingContext]:
         """Per-router routing contexts from the previous iteration."""
         topo = self._topo
@@ -242,10 +280,13 @@ class AnalyticalNocModel:
             )
             rates = {}
             noise = {}
+            trusted = {}
             out_rho = {}
             for d in topo.out_directions(tile):
                 n = topo.neighbor(tile, d)
                 rates[d] = float(router_load[n])
+                if psn_valid is not None:
+                    trusted[d] = bool(psn_valid[n])
                 # The sensors a real PANR consults see the *current*
                 # noise, which includes the router activity the routing
                 # itself creates; feeding the running load estimate back
@@ -263,6 +304,7 @@ class AnalyticalNocModel:
                     buffer_occupancy=occupancy,
                     neighbor_data_rate=rates,
                     neighbor_psn_pct=noise,
+                    neighbor_psn_valid=trusted,
                     out_link_rho=out_rho,
                 )
             )
@@ -272,16 +314,26 @@ class AnalyticalNocModel:
         self,
         flows: Sequence[Flow],
         contexts: List[RoutingContext],
+        dead_links: Set[Tuple[int, Direction]],
+        dead_routers: Set[int],
     ):
         topo = self._topo
+        faulty = bool(dead_links or dead_routers)
         link_load: Dict[Tuple[int, Direction], float] = {}
         router_load = np.zeros(topo.mesh.tile_count)
         per_flow_splits: List[Dict[int, Dict[Direction, float]]] = []
+        unroutable: List[bool] = []
 
         for flow in flows:
             splits: Dict[int, Dict[Direction, float]] = {}
+            blocked = False
             if flow.rate == 0.0 or flow.src == flow.dst:
                 per_flow_splits.append(splits)
+                unroutable.append(False)
+                continue
+            if faulty and (flow.src in dead_routers or flow.dst in dead_routers):
+                per_flow_splits.append(splits)
+                unroutable.append(True)
                 continue
             # Process nodes in decreasing distance from dst: minimal
             # routing guarantees each hop reduces the distance, so every
@@ -298,8 +350,21 @@ class AnalyticalNocModel:
                 weights = self._routing.weights(
                     topo, node, flow.dst, contexts[node]
                 )
+                if faulty:
+                    # Route around dead components: drop directions over
+                    # a failed link or into a failed router.  When every
+                    # permissible direction is dead the flow's remaining
+                    # rate dies here and the flow is declared unroutable
+                    # (the runtime re-maps the owning application).
+                    weights = {
+                        d: w
+                        for d, w in weights.items()
+                        if (node, d) not in dead_links
+                        and topo.neighbor(node, d) not in dead_routers
+                    }
                 total = sum(weights.values())
                 if total <= 0:
+                    blocked = True
                     continue
                 node_split: Dict[Direction, float] = {}
                 for d, w in weights.items():
@@ -313,7 +378,8 @@ class AnalyticalNocModel:
                     pending[nxt] = pending.get(nxt, 0.0) + share
                 splits[node] = node_split
             per_flow_splits.append(splits)
-        return link_load, router_load, per_flow_splits
+            unroutable.append(blocked)
+        return link_load, router_load, per_flow_splits, unroutable
 
     def _flow_latency(
         self,
@@ -321,9 +387,15 @@ class AnalyticalNocModel:
         splits: Dict[int, Dict[Direction, float]],
         link_rho: Dict[Tuple[int, Direction], float],
         per_hop_cycles: float,
+        unroutable: bool = False,
     ) -> FlowStats:
         if flow.src == flow.dst or flow.rate == 0.0 or not splits:
-            return FlowStats(avg_hops=0.0, header_latency_cycles=0.0, max_rho=0.0)
+            return FlowStats(
+                avg_hops=0.0,
+                header_latency_cycles=0.0,
+                max_rho=0.0,
+                unroutable=unroutable,
+            )
         # Dynamic programming from dst outward over the split DAG.
         hops: Dict[int, float] = {flow.dst: 0.0}
         lat: Dict[int, float] = {flow.dst: 0.0}
@@ -353,4 +425,5 @@ class AnalyticalNocModel:
             avg_hops=hops.get(flow.src, 0.0),
             header_latency_cycles=lat.get(flow.src, 0.0),
             max_rho=worst.get(flow.src, 0.0),
+            unroutable=unroutable,
         )

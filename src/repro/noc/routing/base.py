@@ -33,6 +33,10 @@ class RoutingContext:
             the adjacent router in each direction.
         neighbor_psn_pct: PSN sensor reading (percent of Vdd) of the
             adjacent tile in each direction.
+        neighbor_psn_valid: Whether the adjacent tile's PSN reading can
+            be trusted (False for a detected sensor fault or a stale
+            reading).  Directions absent from the map are treated as
+            valid, so fault-free callers need not populate it.
         out_link_rho: Utilisation of this router's outgoing link per
             direction.  Credit-based flow control stalls flits towards a
             backed-up neighbour no matter which direction the policy
@@ -42,7 +46,12 @@ class RoutingContext:
     buffer_occupancy: float = 0.0
     neighbor_data_rate: Dict[Direction, float] = field(default_factory=dict)
     neighbor_psn_pct: Dict[Direction, float] = field(default_factory=dict)
+    neighbor_psn_valid: Dict[Direction, bool] = field(default_factory=dict)
     out_link_rho: Dict[Direction, float] = field(default_factory=dict)
+
+    def psn_trusted(self, direction: Direction) -> bool:
+        """Whether the PSN reading toward ``direction`` is trustworthy."""
+        return self.neighbor_psn_valid.get(direction, True)
 
 
 class RoutingAlgorithm(abc.ABC):

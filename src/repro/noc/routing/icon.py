@@ -11,6 +11,12 @@ We model it as west-first minimal routing that always selects the
 direction whose adjacent router has the least incoming data rate (a
 proxy for router switching activity), regardless of buffer state or core
 PSN.
+
+Under PSN-sensor faults ICON degrades trivially: it never consults the
+sensor network (``ctx.neighbor_psn_pct`` / ``ctx.neighbor_psn_valid``),
+so faulted sensor input is ignored by construction and the policy keeps
+its data-rate behaviour.  Dead links and routers are handled one layer
+up, in the analytical model's propagation step.
 """
 
 from __future__ import annotations

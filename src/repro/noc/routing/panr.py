@@ -13,6 +13,17 @@ of adjacent routers.
 
 Hop selection costs one cycle, masked by running in parallel with route
 computation (Section 4.4), so PANR adds no latency over west-first.
+
+**Graceful degradation**: PANR's adaptivity rests on trustworthy sensor
+input.  When any permissible direction's PSN reading is flagged invalid
+(detected sensor fault or stale data - see
+:class:`~repro.pdn.sensors.SensorNetwork`), the router's fail-safe
+reverts the whole selection stage to deterministic XY for that hop:
+routing on garbage noise data could steer *all* traffic into the noisy
+region it is meant to avoid, whereas XY is always safe.  The XY
+direction is by construction inside the west-first permissible set, so
+the fallback preserves the turn model's deadlock freedom; with the
+entire sensor network faulted, PANR's routes collapse exactly onto XY.
 """
 
 from __future__ import annotations
@@ -22,6 +33,7 @@ from typing import Dict, List
 
 from repro.noc.routing.base import RoutingContext
 from repro.noc.routing.west_first import WestFirstRouting
+from repro.noc.routing.xy import XYRouting
 from repro.noc.topology import Direction, MeshTopology
 
 #: Default buffer-occupancy threshold B (fraction of buffer depth).
@@ -29,6 +41,9 @@ DEFAULT_BUFFER_THRESHOLD = 0.5
 
 #: Guard against division by zero when inverting rates/noise.
 _EPS = 1e-6
+
+#: Deterministic fallback used when sensor input cannot be trusted.
+_XY_FALLBACK = XYRouting()
 
 
 @dataclass
@@ -57,6 +72,10 @@ class PanrRouting(WestFirstRouting):
         dirs = self.permissible(topo, cur, dst)
         if not dirs:
             return {}
+        if any(not ctx.psn_trusted(d) for d in dirs):
+            # Fail-safe: unreliable sensor input reverts this hop to
+            # deterministic XY (see the module docstring).
+            return {d: 1.0 for d in _XY_FALLBACK.permissible(topo, cur, dst)}
         if len(dirs) == 1:
             return {dirs[0]: 1.0}
         if ctx.buffer_occupancy > self.buffer_threshold:

@@ -15,12 +15,20 @@ actual occurrences from a Poisson process.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
 #: PSN threshold for a voltage emergency, percent of Vdd (paper Section 5.1).
 VE_THRESHOLD_PCT = 5.0
+
+#: Clamp on the Poisson mean of one sampling interval.  numpy's
+#: ``Generator.poisson`` raises (and ``int()`` of its float path can
+#: overflow) for pathological rate x duration products; a tile that
+#: would see a billion emergencies in one interval is saturated for
+#: every practical purpose anyway.
+MAX_POISSON_MEAN = 1e9
 
 
 @dataclass(frozen=True)
@@ -54,7 +62,16 @@ class VoltageEmergencyPolicy:
 
         Zero at or below the threshold; grows quadratically with the
         exceedance (excursions get more frequent *and* deeper).
+
+        Raises:
+            ValueError: for a NaN/inf noise level - always an upstream
+                modelling bug, and letting it through would poison the
+                Poisson sampling downstream.
         """
+        if not math.isfinite(peak_psn_pct):
+            raise ValueError(
+                f"peak_psn_pct must be finite, got {peak_psn_pct!r}"
+            )
         exceed = max(0.0, peak_psn_pct - self.threshold_pct)
         return self.rate_per_pct_s * exceed * (1.0 + exceed)
 
@@ -70,4 +87,5 @@ class VoltageEmergencyPolicy:
         rate = self.expected_rate_hz(peak_psn_pct)
         if rate == 0.0 or duration_s == 0.0:
             return 0
-        return int(rng.poisson(rate * duration_s))
+        mean = min(rate * duration_s, MAX_POISSON_MEAN)
+        return int(rng.poisson(mean))

@@ -23,8 +23,10 @@ APP_COLUMNS = (
     "vdd",
     "dop",
     "ve_count",
+    "remap_count",
     "finished_s",
     "dropped_s",
+    "failed_s",
     "status",
 )
 
@@ -38,6 +40,8 @@ def app_records_rows(metrics: RunMetrics) -> List[List]:
             status = "completed" if rec.met_deadline else "late"
         elif rec.dropped:
             status = "dropped"
+        elif rec.failed:
+            status = "failed"
         else:
             status = "unfinished"
         rows.append(
@@ -50,8 +54,10 @@ def app_records_rows(metrics: RunMetrics) -> List[List]:
                 rec.vdd,
                 rec.dop,
                 rec.ve_count,
+                rec.remap_count,
                 rec.finished_s,
                 rec.dropped_s,
+                rec.failed_s,
                 status,
             ]
         )

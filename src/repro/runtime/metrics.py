@@ -20,10 +20,16 @@ class AppRecord:
     mapped_s: Optional[float] = None
     finished_s: Optional[float] = None
     dropped_s: Optional[float] = None
+    #: Set when fault recovery exhausted its re-mapping retries: the
+    #: application was abandoned because the degraded chip could no
+    #: longer host it (distinct from a deadline-driven drop).
+    failed_s: Optional[float] = None
     vdd: Optional[float] = None
     dop: Optional[int] = None
     ve_count: int = 0
     migrated_tasks: int = 0
+    #: Fault-triggered re-mappings this application survived.
+    remap_count: int = 0
 
     @property
     def completed(self) -> bool:
@@ -32,6 +38,16 @@ class AppRecord:
     @property
     def dropped(self) -> bool:
         return self.dropped_s is not None
+
+    @property
+    def failed(self) -> bool:
+        """Abandoned after fault-recovery retries were exhausted."""
+        return self.failed_s is not None
+
+    @property
+    def degraded(self) -> bool:
+        """Completed, but only after fault-triggered re-mapping."""
+        return self.completed and self.remap_count > 0
 
     @property
     def met_deadline(self) -> bool:
@@ -57,6 +73,11 @@ class RunMetrics:
         reactive_move_count: Hotspot-triggered thread migrations (only
             when a :class:`~repro.runtime.migration.ReactiveMigrationPolicy`
             is active).
+        fault_count: Fault events injected over the run (only when a
+            :class:`~repro.faults.campaign.FaultCampaign` is active).
+        remap_count: Successful fault-triggered re-mappings.
+        remap_retry_count: Re-mapping retry attempts (beyond each
+            recovery's immediate attempt).
     """
 
     apps: Dict[int, AppRecord] = field(default_factory=dict)
@@ -66,6 +87,9 @@ class RunMetrics:
     total_ve_count: int = 0
     compaction_count: int = 0
     reactive_move_count: int = 0
+    fault_count: int = 0
+    remap_count: int = 0
+    remap_retry_count: int = 0
     #: Optional time series of ``(time_s, chip_peak_psn_pct,
     #: occupied_tiles)`` snapshots, filled when the simulator runs with
     #: ``record_trace=True``.
@@ -81,6 +105,16 @@ class RunMetrics:
     @property
     def dropped_count(self) -> int:
         return sum(1 for a in self.apps.values() if a.dropped)
+
+    @property
+    def failed_count(self) -> int:
+        """Applications abandoned after fault-recovery retries ran out."""
+        return sum(1 for a in self.apps.values() if a.failed)
+
+    @property
+    def degraded_count(self) -> int:
+        """Applications that completed despite fault-triggered re-maps."""
+        return sum(1 for a in self.apps.values() if a.degraded)
 
     @property
     def deadline_met_count(self) -> int:

@@ -79,7 +79,9 @@ def plan_compaction(
 
     from repro.core.mapping import psn_aware_mapping
 
-    trial = ChipState(state.chip)
+    # The trial image must inherit permanently failed tiles, or the plan
+    # would place threads on hardware that no longer exists.
+    trial = ChipState(state.chip, failed_tiles=state.failed_tiles())
     replacements: Dict[int, "MappingDecision"] = {}
     # Place the largest applications first: they are the hardest to fit.
     order = sorted(

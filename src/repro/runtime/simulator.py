@@ -15,17 +15,26 @@ combination and produces the Fig. 6/7/8 metrics:
   whose peak PSN exceeds the 5 % margin suffer voltage emergencies at a
   rate growing with the exceedance, each costing a rollback penalty;
 * an application whose deadline can no longer be met by any operating
-  point is dropped (the paper's stagnation-avoidance rule).
+  point is dropped (the paper's stagnation-avoidance rule);
+* optionally, a seeded :class:`~repro.faults.campaign.FaultCampaign`
+  injects component faults: sensors lie or die (PANR degrades toward
+  deterministic XY), links and routers fail (flows are re-routed or the
+  application re-mapped), VRM droop raises a domain's PSN floor, and a
+  permanent tile failure triggers checkpoint rollback plus bounded-retry
+  re-mapping with exponential backoff - exhausting the retries fails the
+  application cleanly instead of raising.
 
 All randomness (VE sampling) comes from one seeded generator, so runs
-are reproducible.
+are reproducible; fault campaigns carry their own pre-sampled schedule,
+so a run without faults is bit-identical to the fault-free simulator.
 """
 
 from __future__ import annotations
 
 import heapq
+import itertools
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -33,6 +42,10 @@ from repro.apps.performance import PerformanceModel
 from repro.apps.profiles import FLIT_PAYLOAD_BYTES
 from repro.apps.workload import ApplicationArrival
 from repro.chip.cmp import ChipDescription
+from repro.faults.campaign import FaultCampaign
+from repro.faults.events import FaultKind
+from repro.faults.recovery import RecoveryPolicy
+from repro.faults.state import FaultState
 from repro.noc.analytical import AnalyticalNocModel, Flow
 from repro.noc.routing.base import RoutingAlgorithm
 from repro.noc.topology import MeshTopology
@@ -56,6 +69,9 @@ if TYPE_CHECKING:  # avoid a circular import with repro.core
 
 _ARRIVAL = 0
 _EXIT = 1
+_FAULT = 2
+_FAULT_END = 3
+_RETRY = 4
 
 
 @dataclass
@@ -66,6 +82,26 @@ class _RunningApp:
     exec_time_s: float
     remaining_s: float
     exit_version: int = 0
+    #: Work fraction still owed when (re-)entering execution: 1.0 for a
+    #: fresh mapping, the checkpointed progress for a fault recovery.
+    resume_fraction: float = 1.0
+    #: One-off penalty (rollback + restart transfer) folded into the
+    #: next execution estimate.
+    pending_penalty_s: float = 0.0
+
+
+@dataclass
+class _RecoveringApp:
+    """An application evicted by a fault, awaiting re-mapping."""
+
+    arrival: ApplicationArrival
+    record: AppRecord
+    resume_fraction: float
+    pending_penalty_s: float
+    exit_version: int
+    #: Re-map attempts made during this recovery episode (resets on
+    #: every eviction; the retry budget is per episode).
+    attempts: int = 0
 
 
 class RuntimeSimulator:
@@ -85,6 +121,11 @@ class RuntimeSimulator:
         reactive_migration: When set, a sensor reading over the trigger
             threshold migrates the offending thread to a quieter tile
             (the Orchestrator-style baseline's back end).
+        faults: Optional pre-sampled fault campaign to replay during the
+            run.  ``None`` or an empty campaign leaves every code path
+            bit-identical to the fault-free simulator.
+        recovery: Retry/backoff policy for fault recovery; defaults to
+            :class:`~repro.faults.recovery.RecoveryPolicy`.
         record_trace: When true, the returned metrics carry a
             ``(time, chip peak PSN, occupied tiles)`` snapshot per
             scheduling event (for time-series analysis and plotting).
@@ -102,6 +143,8 @@ class RuntimeSimulator:
         sensors: Optional[SensorNetwork] = None,
         migration: Optional[MigrationPolicy] = None,
         reactive_migration: Optional[ReactiveMigrationPolicy] = None,
+        faults: Optional[FaultCampaign] = None,
+        recovery: Optional[RecoveryPolicy] = None,
         seed: int = 0,
         max_sim_time_s: float = 600.0,
         record_trace: bool = False,
@@ -114,6 +157,10 @@ class RuntimeSimulator:
         self._sensors = sensors or SensorNetwork()
         self._migration = migration
         self._reactive = reactive_migration
+        # An empty campaign is exactly "no faults": keep every fault hook
+        # disabled so fault-free runs stay bit-identical to the seed.
+        self._faults = faults if faults is not None and faults.events else None
+        self._recovery = recovery or RecoveryPolicy()
         self._record_trace = record_trace
         self._rng = np.random.default_rng(seed)
         self._max_time = max_sim_time_s
@@ -131,7 +178,7 @@ class RuntimeSimulator:
         queue: List[ApplicationArrival] = []
 
         heap: List[Tuple[float, int, int, int, int]] = []
-        seq = 0
+        counter = itertools.count()
         for a in arrivals:
             metrics.apps[a.app_id] = AppRecord(
                 app_id=a.app_id,
@@ -139,17 +186,109 @@ class RuntimeSimulator:
                 arrival_s=a.arrival_s,
                 deadline_s=a.deadline_s,
             )
-            heapq.heappush(heap, (a.arrival_s, seq, _ARRIVAL, a.app_id, 0))
-            seq += 1
+            heapq.heappush(
+                heap, (a.arrival_s, next(counter), _ARRIVAL, a.app_id, 0)
+            )
         arrivals_by_id = {a.app_id: a for a in arrivals}
+
+        # ---- fault-campaign replay state (inert when no faults) --------
+        fstate = FaultState(self._chip) if self._faults is not None else None
+        recovering: Dict[int, _RecoveringApp] = {}
+        if fstate is not None:
+            for idx, ev in enumerate(self._faults.events):
+                heapq.heappush(
+                    heap, (ev.time_s, next(counter), _FAULT, idx, 0)
+                )
+                if not ev.permanent:
+                    heapq.heappush(
+                        heap, (ev.end_s, next(counter), _FAULT_END, idx, 0)
+                    )
 
         # Current chip-wide PSN view (true and sensor-quantised).
         peak_psn = np.zeros(self._chip.tile_count)
         avg_psn = np.zeros(self._chip.tile_count)
         sensor_psn = np.zeros(self._chip.tile_count)
-
+        sensor_valid: Optional[np.ndarray] = None
         move_cooldown: Dict[int, float] = {}
         now = 0.0
+
+        # ---- fault-recovery helpers (closures over the run state) ------
+        def evict_app(aid: int) -> None:
+            """Checkpoint-rollback eviction: release tiles, remember
+            progress, charge the rollback penalty to the restart."""
+            app = running.pop(aid, None)
+            if app is None:
+                return
+            frac = (
+                app.remaining_s / app.exec_time_s
+                if app.exec_time_s > 0
+                else 1.0
+            )
+            freq = self._chip.power_model.frequency(app.decision.vdd)
+            state.release(aid)
+            recovering[aid] = _RecoveringApp(
+                arrival=app.arrival,
+                record=app.record,
+                resume_fraction=min(1.0, max(0.0, frac)),
+                pending_penalty_s=app.pending_penalty_s
+                + self._checkpoints.rollback_penalty_s(freq),
+                exit_version=app.exit_version,
+            )
+
+        def attempt_remap(aid: int) -> bool:
+            """One re-mapping attempt; schedules a backoff retry on
+            failure and fails the app cleanly when retries run out."""
+            rec = recovering.get(aid)
+            if rec is None:
+                return False
+            if not self._still_feasible(rec.arrival, now):
+                rec.record.dropped_s = now
+                del recovering[aid]
+                return False
+            if rec.record.remap_count >= self._recovery.max_total_remaps:
+                # Lifetime re-map budget spent (the app keeps landing in
+                # fault-broken spots): terminal failure, not churn.
+                rec.record.failed_s = now
+                del recovering[aid]
+                return False
+            rec.attempts += 1
+            decision = self._manager.try_remap(
+                rec.arrival.profile, rec.arrival.deadline_s - now, state
+            )
+            if decision is not None:
+                state.occupy(
+                    aid, decision.task_to_tile, decision.vdd, decision.power_w
+                )
+                rec.record.vdd = decision.vdd
+                rec.record.dop = decision.dop
+                rec.record.remap_count += 1
+                metrics.remap_count += 1
+                restart = self._recovery.per_task_restart_cost_s * decision.dop
+                running[aid] = _RunningApp(
+                    arrival=rec.arrival,
+                    decision=decision,
+                    record=rec.record,
+                    exec_time_s=0.0,  # set by the next refresh
+                    remaining_s=0.0,
+                    exit_version=rec.exit_version,
+                    resume_fraction=rec.resume_fraction,
+                    pending_penalty_s=rec.pending_penalty_s + restart,
+                )
+                del recovering[aid]
+                return True
+            if rec.attempts >= 1 + self._recovery.max_remap_retries:
+                # This episode's retry budget is exhausted: abandon the
+                # application as a clean outcome, not an exception.
+                rec.record.failed_s = now
+                del recovering[aid]
+                return False
+            delay = self._recovery.backoff_s(rec.attempts - 1)
+            heapq.heappush(
+                heap, (now + delay, next(counter), _RETRY, aid, rec.attempts)
+            )
+            metrics.remap_retry_count += 1
+            return False
+
         while heap:
             t, _, kind, app_id, version = heapq.heappop(heap)
             if t > self._max_time:
@@ -191,6 +330,35 @@ class RuntimeSimulator:
                     del running[app_id]
                     occupancy_changed = True
                 # Otherwise a VE pushed the finish out; rescheduled below.
+            elif kind == _FAULT:
+                ev = self._faults.events[app_id]
+                fstate.apply(ev, self._sensors)
+                metrics.fault_count += 1
+                if ev.kind in (FaultKind.TILE_FAIL, FaultKind.ROUTER_FAIL):
+                    tile = int(ev.target)
+                    occ = state.occupant(tile)
+                    evicted = occ.app_id if occ is not None else None
+                    if evicted is not None:
+                        evict_app(evicted)
+                    # Mark the tile dead *before* re-mapping so the
+                    # recovery placement cannot land on it again.
+                    if not state.is_failed(tile):
+                        state.fail_tile(tile)
+                    if evicted is not None:
+                        attempt_remap(evicted)
+                occupancy_changed = True
+            elif kind == _FAULT_END:
+                ev = self._faults.events[app_id]
+                fstate.expire(ev, self._sensors)
+                occupancy_changed = True
+            elif kind == _RETRY:
+                # Stale when the app already re-mapped, failed, dropped,
+                # or entered a newer recovery episode (version carries
+                # the episode attempt count that scheduled the retry).
+                rec = recovering.get(app_id)
+                if rec is not None and rec.attempts == version:
+                    if attempt_remap(app_id):
+                        occupancy_changed = True
 
             # ---- serve the FCFS queue ----------------------------------
             while queue:
@@ -230,9 +398,32 @@ class RuntimeSimulator:
 
             # ---- refresh NoC + PSN + execution estimates ----------------
             if occupancy_changed:
-                peak_psn, avg_psn, sensor_psn = self._refresh(
-                    state, running, sensor_psn
+                peak_psn, avg_psn, sensor_psn, sensor_valid, unroutable = (
+                    self._refresh(
+                        state, running, sensor_psn, sensor_valid, fstate, now
+                    )
                 )
+                # Dead links/routers can leave a placed app's flows
+                # unroutable: recover those apps (eviction first so the
+                # re-maps see every freed tile).  Each pass either
+                # re-places or retires an app, so the loop is bounded;
+                # the guard caps pathological churn.
+                guard = 0
+                while unroutable and guard < 8:
+                    for aid in sorted(unroutable):
+                        evict_app(aid)
+                    for aid in sorted(unroutable):
+                        attempt_remap(aid)
+                    (
+                        peak_psn,
+                        avg_psn,
+                        sensor_psn,
+                        sensor_valid,
+                        unroutable,
+                    ) = self._refresh(
+                        state, running, sensor_psn, sensor_valid, fstate, now
+                    )
+                    guard += 1
                 reschedule = set(running)
             else:
                 reschedule = ve_hit
@@ -243,8 +434,11 @@ class RuntimeSimulator:
                     state, running, sensor_psn, now, metrics, move_cooldown
                 )
                 if moved:
-                    peak_psn, avg_psn, sensor_psn = self._refresh(
-                        state, running, sensor_psn
+                    peak_psn, avg_psn, sensor_psn, sensor_valid, _ = (
+                        self._refresh(
+                            state, running, sensor_psn, sensor_valid,
+                            fstate, now,
+                        )
                     )
                     reschedule = set(running)
 
@@ -255,9 +449,14 @@ class RuntimeSimulator:
                 app.exit_version += 1
                 heapq.heappush(
                     heap,
-                    (now + app.remaining_s, seq, _EXIT, aid, app.exit_version),
+                    (
+                        now + app.remaining_s,
+                        next(counter),
+                        _EXIT,
+                        aid,
+                        app.exit_version,
+                    ),
                 )
-                seq += 1
 
         return metrics
 
@@ -343,7 +542,7 @@ class RuntimeSimulator:
         )
         if replacements is None:
             return None
-        trial = ChipState(self._chip)
+        trial = ChipState(self._chip, failed_tiles=state.failed_tiles())
         for aid, new in replacements.items():
             trial.occupy(aid, new.task_to_tile, new.vdd, new.power_w)
         head_decision = self._manager.try_map(
@@ -420,8 +619,15 @@ class RuntimeSimulator:
         state: ChipState,
         running: Dict[int, _RunningApp],
         prev_sensor_psn: np.ndarray,
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Recompute NoC load, PSN and per-app execution estimates."""
+        prev_sensor_valid: Optional[np.ndarray] = None,
+        fstate: Optional[FaultState] = None,
+        now: float = 0.0,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray], Set[int]]:
+        """Recompute NoC load, PSN and per-app execution estimates.
+
+        Returns ``(peak, avg, sensor, sensor_valid, unroutable_app_ids)``;
+        the last two stay ``None`` / empty on fault-free runs.
+        """
         # --- flows from every running application ----------------------
         flows: List[Flow] = []
         flow_app: List[Tuple[int, float]] = []  # (app_id, volume)
@@ -436,7 +642,19 @@ class RuntimeSimulator:
                     Flow(d.task_to_tile[src], d.task_to_tile[dst], rate)
                 )
                 flow_app.append((aid, volume))
-        report = self._noc.evaluate(flows, psn_pct=prev_sensor_psn)
+        noc_faulty = fstate is not None and fstate.any_noc_faults
+        report = self._noc.evaluate(
+            flows,
+            psn_pct=prev_sensor_psn,
+            psn_valid=prev_sensor_valid,
+            dead_links=fstate.dead_links if noc_faulty else None,
+            dead_routers=fstate.dead_routers if noc_faulty else None,
+        )
+        unroutable: Set[int] = set()
+        if noc_faulty:
+            unroutable = {
+                flow_app[i][0] for i in report.unroutable_flow_indices
+            }
 
         # --- per-app NoC aggregates -> execution estimates --------------
         hop_acc: Dict[int, float] = {}
@@ -467,15 +685,29 @@ class RuntimeSimulator:
                 latency_scale=latency_scale,
             ) * self._checkpoints.execution_dilation(freq)
             if app.exec_time_s == 0.0:
-                app.remaining_s = exec_time  # freshly mapped
+                # Freshly (re-)mapped: owe the resume fraction of the new
+                # estimate plus any rollback/restart penalty.  For a fresh
+                # mapping this is exactly ``exec_time * 1.0 + 0.0``.
+                app.remaining_s = (
+                    exec_time * app.resume_fraction + app.pending_penalty_s
+                )
+                app.pending_penalty_s = 0.0
             elif exec_time != app.exec_time_s:
                 app.remaining_s *= exec_time / app.exec_time_s
             app.exec_time_s = exec_time
 
         # --- PSN per power domain ----------------------------------------
         peak, avg = self._evaluate_psn(state, running, report)
+        if fstate is not None:
+            if fstate.droop_pct.any():
+                # VRM droop raises the domain's noise floor for true PSN
+                # (VE sampling) and for what the sensors observe.
+                peak = peak + fstate.droop_pct
+                avg = avg + fstate.droop_pct
+            sensor, valid = self._sensors.read_tiles(peak, now)
+            return peak, avg, sensor, valid, unroutable
         sensor = self._sensors.read_array(peak)
-        return peak, avg, sensor
+        return peak, avg, sensor, None, unroutable
 
     def _evaluate_psn(
         self,

@@ -17,7 +17,7 @@ tiles of one domain run at the domain's single Vdd.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.chip.cmp import ChipDescription
 
@@ -32,13 +32,29 @@ class TileOccupant:
 
 
 class ChipState:
-    """Mutable occupancy/power state of the CMP."""
+    """Mutable occupancy/power state of the CMP.
 
-    def __init__(self, chip: ChipDescription):
+    Args:
+        chip: The platform description.
+        failed_tiles: Tiles that are permanently unusable (fault
+            injection); they are excluded from every free-tile/domain
+            query and can never be occupied.  Trial states built for
+            what-if planning (compaction, re-mapping) must carry the
+            source state's failed set so plans stay executable.
+    """
+
+    def __init__(
+        self,
+        chip: ChipDescription,
+        failed_tiles: Optional[Iterable[int]] = None,
+    ):
         self._chip = chip
         self._occupants: Dict[int, TileOccupant] = {}
         self._domain_vdd: Dict[int, float] = {}
         self._app_power_w: Dict[int, float] = {}
+        self._failed: Set[int] = set(failed_tiles or ())
+        for tile in self._failed:
+            chip.mesh._check_tile(tile)
 
     @property
     def chip(self) -> ChipDescription:
@@ -49,19 +65,31 @@ class ChipState:
     # ------------------------------------------------------------------
 
     def free_tiles(self) -> List[int]:
-        """Tiles with no occupant, ascending id."""
+        """Tiles with no occupant and no permanent fault, ascending id."""
         return [
-            t for t in self._chip.mesh.tiles() if t not in self._occupants
+            t
+            for t in self._chip.mesh.tiles()
+            if t not in self._occupants and t not in self._failed
         ]
 
     def free_domains(self) -> List[int]:
-        """Domains with all four tiles free, ascending id."""
+        """Domains with all four tiles free and healthy, ascending id."""
         domains = self._chip.domains
         return [
             d
             for d in range(domains.domain_count)
-            if all(t not in self._occupants for t in domains.tiles_of(d))
+            if all(
+                t not in self._occupants and t not in self._failed
+                for t in domains.tiles_of(d)
+            )
         ]
+
+    def failed_tiles(self) -> Set[int]:
+        """Copy of the permanently failed tile set."""
+        return set(self._failed)
+
+    def is_failed(self, tile: int) -> bool:
+        return tile in self._failed
 
     def used_power_w(self) -> float:
         """Estimated power of all running applications."""
@@ -121,6 +149,8 @@ class ChipState:
         for tile in tiles:
             if tile in self._occupants:
                 raise ValueError(f"tile {tile} already occupied")
+            if tile in self._failed:
+                raise ValueError(f"tile {tile} has failed permanently")
             current = self._domain_vdd.get(domains.domain_of(tile))
             if current is not None and abs(current - vdd) > 1e-9:
                 raise ValueError(
@@ -153,6 +183,8 @@ class ChipState:
             return
         if new_tile in self._occupants:
             raise ValueError(f"tile {new_tile} already occupied")
+        if new_tile in self._failed:
+            raise ValueError(f"tile {new_tile} has failed permanently")
         vdd = self._occupants[old_tile].vdd
         domains = self._chip.domains
         new_domain = domains.domain_of(new_tile)
@@ -169,6 +201,24 @@ class ChipState:
             t not in self._occupants for t in domains.tiles_of(old_domain)
         ):
             self._domain_vdd.pop(old_domain, None)
+
+    def fail_tile(self, tile: int) -> None:
+        """Permanently retire a tile (fault injection).
+
+        The tile must be vacant: a faulting occupant is recovered
+        (checkpoint rollback + re-mapping) by the runtime *before* the
+        tile is retired, so state transitions stay explicit.
+
+        Raises:
+            ValueError: if the tile id is invalid or still occupied.
+        """
+        self._chip.mesh._check_tile(tile)
+        if tile in self._occupants:
+            raise ValueError(
+                f"tile {tile} is occupied; recover its application "
+                "before retiring it"
+            )
+        self._failed.add(tile)
 
     def release(self, app_id: int) -> None:
         """Remove an application's tasks and free idle domains."""

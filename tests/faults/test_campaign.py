@@ -1,0 +1,99 @@
+"""Tests for seeded fault campaigns: determinism and coupled thinning."""
+
+import numpy as np
+import pytest
+
+from repro.chip import default_chip
+from repro.faults import (
+    DEFAULT_FAULT_RATES,
+    FaultCampaign,
+    FaultEvent,
+    FaultKind,
+    FaultRates,
+)
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return default_chip()
+
+
+class TestFaultRates:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultRates(sensor_hz=-1.0)
+        with pytest.raises(ValueError):
+            FaultRates(link_duration_s=0.0)
+        with pytest.raises(ValueError):
+            FaultRates(droop_pct=0.0)
+
+    def test_scaled_scales_only_rates(self):
+        doubled = DEFAULT_FAULT_RATES.scaled(2.0)
+        assert doubled.sensor_hz == 2 * DEFAULT_FAULT_RATES.sensor_hz
+        assert doubled.tile_hz == 2 * DEFAULT_FAULT_RATES.tile_hz
+        assert doubled.link_duration_s == DEFAULT_FAULT_RATES.link_duration_s
+        with pytest.raises(ValueError):
+            DEFAULT_FAULT_RATES.scaled(-1.0)
+
+
+class TestCampaign:
+    def test_scheduled_sorts_events(self):
+        late = FaultEvent(FaultKind.TILE_FAIL, 2.0, 1)
+        early = FaultEvent(FaultKind.TILE_FAIL, 1.0, 2)
+        camp = FaultCampaign.scheduled([late, early])
+        assert [e.time_s for e in camp.events] == [1.0, 2.0]
+        assert len(camp) == 2
+        assert not camp.empty
+        assert camp.count(FaultKind.TILE_FAIL) == 2
+        assert camp.count(FaultKind.LINK_FAIL) == 0
+
+    def test_sample_deterministic(self, chip):
+        a = FaultCampaign.sample(chip, 10.0, np.random.default_rng(5))
+        b = FaultCampaign.sample(chip, 10.0, np.random.default_rng(5))
+        assert a.events == b.events
+        assert not a.empty
+
+    def test_zero_intensity_is_empty(self, chip):
+        camp = FaultCampaign.sample(
+            chip, 10.0, np.random.default_rng(5), intensity=0.0
+        )
+        assert camp.empty
+        assert len(camp) == 0
+
+    def test_intensities_are_nested(self, chip):
+        """Coupled thinning: lower intensity => subset of events."""
+        campaigns = {
+            i: FaultCampaign.sample(
+                chip, 20.0, np.random.default_rng(3), intensity=i
+            )
+            for i in (0.25, 0.5, 0.75, 1.0)
+        }
+        previous = set()
+        for intensity in (0.25, 0.5, 0.75, 1.0):
+            current = set(campaigns[intensity].events)
+            assert previous <= current, intensity
+            previous = current
+        assert len(campaigns[0.25]) < len(campaigns[1.0])
+
+    def test_events_within_horizon_and_valid(self, chip):
+        camp = FaultCampaign.sample(
+            chip, 5.0, np.random.default_rng(11), DEFAULT_FAULT_RATES.scaled(4)
+        )
+        assert camp.count(FaultKind.VRM_DROOP) > 0
+        for ev in camp.events:
+            assert 0.0 <= ev.time_s < 5.0
+            if not ev.permanent:
+                assert ev.duration_s > 0
+
+    def test_sample_validation(self, chip):
+        with pytest.raises(ValueError):
+            FaultCampaign.sample(chip, 0.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            FaultCampaign.sample(
+                chip, 1.0, np.random.default_rng(0), intensity=1.5
+            )
+
+    def test_seed_accepted_in_place_of_generator(self, chip):
+        a = FaultCampaign.sample(chip, 10.0, 5)
+        b = FaultCampaign.sample(chip, 10.0, np.random.default_rng(5))
+        assert a.events == b.events

@@ -1,0 +1,67 @@
+"""Tests for the fault taxonomy (FaultEvent validation and semantics)."""
+
+import math
+
+import pytest
+
+from repro.faults import (
+    PERMANENT_FAULT_KINDS,
+    SENSOR_FAULT_KINDS,
+    FaultEvent,
+    FaultKind,
+)
+from repro.noc.topology import Direction
+
+
+class TestFaultEvent:
+    def test_transient_end_time(self):
+        ev = FaultEvent(FaultKind.SENSOR_DEAD, 1.0, 3, duration_s=0.5)
+        assert not ev.permanent
+        assert ev.end_s == pytest.approx(1.5)
+
+    def test_permanent_end_is_inf(self):
+        ev = FaultEvent(FaultKind.TILE_FAIL, 2.0, 7)
+        assert ev.permanent
+        assert ev.end_s == math.inf
+
+    def test_permanent_kinds_reject_duration(self):
+        for kind in PERMANENT_FAULT_KINDS:
+            with pytest.raises(ValueError):
+                FaultEvent(kind, 0.0, 1, duration_s=1.0)
+
+    def test_droop_must_be_transient_with_magnitude(self):
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.VRM_DROOP, 0.0, 1, magnitude=2.0)
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.VRM_DROOP, 0.0, 1, duration_s=1.0)
+        ev = FaultEvent(
+            FaultKind.VRM_DROOP, 0.0, 1, duration_s=1.0, magnitude=2.0
+        )
+        assert ev.magnitude == 2.0
+
+    def test_link_target_must_be_link(self):
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.LINK_FAIL, 0.0, 5, duration_s=1.0)
+        ev = FaultEvent(
+            FaultKind.LINK_FAIL, 0.0, (5, Direction.EAST), duration_s=1.0
+        )
+        assert ev.target == (5, Direction.EAST)
+
+    def test_tile_kinds_reject_link_target(self):
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.TILE_FAIL, 0.0, (5, Direction.EAST))
+
+    def test_time_and_duration_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.TILE_FAIL, -1.0, 0)
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.TILE_FAIL, math.nan, 0)
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.SENSOR_DEAD, 0.0, 0, duration_s=0.0)
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.SENSOR_DEAD, 0.0, 0, duration_s=math.inf)
+
+    def test_kind_partition(self):
+        assert SENSOR_FAULT_KINDS.isdisjoint(PERMANENT_FAULT_KINDS)
+        assert FaultKind.SENSOR_DRIFT in SENSOR_FAULT_KINDS
+        assert FaultKind.ROUTER_FAIL in PERMANENT_FAULT_KINDS

@@ -1,11 +1,17 @@
 """Tests for the sensor network and voltage-emergency models."""
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.pdn.emergencies import VE_THRESHOLD_PCT, VoltageEmergencyPolicy
-from repro.pdn.sensors import SensorNetwork
+from repro.pdn.emergencies import (
+    MAX_POISSON_MEAN,
+    VE_THRESHOLD_PCT,
+    VoltageEmergencyPolicy,
+)
+from repro.pdn.sensors import SensorFault, SensorNetwork
 
 
 class TestSensorNetwork:
@@ -46,6 +52,70 @@ class TestSensorNetwork:
     def test_quantisation_error_bounded(self, value):
         net = SensorNetwork(lsb_pct=0.25)
         assert abs(net.read(value) - value) <= 0.125 + 1e-9
+
+    def test_non_finite_input_rejected(self):
+        """Regression: round(nan) used to propagate a NaN reading into
+        every downstream PANR cost term; non-finite PSN must raise."""
+        net = SensorNetwork()
+        for bad in (math.nan, math.inf, -math.inf):
+            with pytest.raises(ValueError):
+                net.read(bad)
+        with pytest.raises(ValueError) as err:
+            net.read_array(np.array([1.0, math.nan, 2.0, math.inf]))
+        # The error names the offending tiles to speed up debugging.
+        assert "[1, 3]" in str(err.value)
+        with pytest.raises(ValueError):
+            net.update(0, math.nan)
+
+
+class TestSensorFaults:
+    def test_stuck_sensor_reports_latched_code_invalid(self):
+        net = SensorNetwork()
+        net.set_fault(2, SensorFault("stuck", value_pct=7.0))
+        values, valid = net.read_tiles(np.array([1.0, 1.0, 1.0]), 0.0)
+        assert values[2] == pytest.approx(7.0)
+        assert not valid[2]
+        assert valid[0] and valid[1]
+
+    def test_dead_sensor_holds_last_healthy_reading(self):
+        net = SensorNetwork()
+        net.read_tiles(np.array([3.0, 3.0]), 0.0)
+        net.set_fault(1, SensorFault("dead", since_s=1.0))
+        values, valid = net.read_tiles(np.array([8.0, 8.0]), 1.0)
+        assert values[0] == pytest.approx(8.0)
+        assert values[1] == pytest.approx(3.0)  # frozen
+        assert not valid[1]
+
+    def test_drift_is_silent(self):
+        net = SensorNetwork()
+        net.set_fault(0, SensorFault("drift", value_pct=2.0, since_s=0.0))
+        values, valid = net.read_tiles(np.array([1.0]), 2.0)
+        assert values[0] == pytest.approx(5.0)  # 1 + 2 %/s * 2 s
+        assert valid[0]  # silent: consumers cannot tell
+
+    def test_staleness_invalidates_unrefreshed_reading(self):
+        net = SensorNetwork(staleness_limit_s=0.5)
+        assert net.is_stale(0, 0.0)  # never sampled
+        net.read_tiles(np.array([1.0]), 0.0)
+        assert not net.is_stale(0, 0.4)
+        assert net.is_stale(0, 0.6)
+
+    def test_clear_fault_guarded_by_onset_time(self):
+        net = SensorNetwork()
+        net.set_fault(0, SensorFault("stuck", since_s=5.0))
+        net.clear_fault(0, since_s=1.0)  # stale expiry: must not clear
+        assert net.fault(0) is not None
+        net.clear_fault(0, since_s=5.0)
+        assert net.fault(0) is None
+        net.clear_fault(0)  # clearing a healthy tile is a no-op
+
+    def test_fault_validation(self):
+        with pytest.raises(ValueError):
+            SensorFault("gone")
+        with pytest.raises(ValueError):
+            SensorFault("stuck", value_pct=math.nan)
+        with pytest.raises(ValueError):
+            SensorFault("stuck", since_s=-1.0)
 
 
 class TestVoltageEmergencyPolicy:
@@ -92,3 +162,23 @@ class TestVoltageEmergencyPolicy:
             VoltageEmergencyPolicy(threshold_pct=0.0)
         with pytest.raises(ValueError):
             VoltageEmergencyPolicy(rate_per_pct_s=-1.0)
+
+    def test_non_finite_noise_rejected(self):
+        """Regression: NaN/inf peak PSN must raise instead of poisoning
+        the Poisson sampling (inf * duration -> nan mean)."""
+        policy = VoltageEmergencyPolicy()
+        rng = np.random.default_rng(0)
+        for bad in (math.nan, math.inf, -math.inf):
+            with pytest.raises(ValueError):
+                policy.expected_rate_hz(bad)
+            with pytest.raises(ValueError):
+                policy.sample_emergencies(bad, 1.0, rng)
+
+    def test_poisson_mean_clamped(self):
+        """Regression: a pathological rate x duration product used to
+        crash numpy's Poisson sampler; the mean is clamped instead."""
+        policy = VoltageEmergencyPolicy(rate_per_pct_s=1e30)
+        rng = np.random.default_rng(1)
+        count = policy.sample_emergencies(20.0, 1e6, rng)
+        assert isinstance(count, int)
+        assert 0 < count <= MAX_POISSON_MEAN * 1.01

@@ -1,0 +1,196 @@
+"""Runtime fault-recovery integration tests.
+
+Exercises the checkpoint-rollback + re-mapping path end to end: tile
+failures evict and re-place applications, exhausted retries fail an
+application cleanly instead of raising, an absent/empty campaign leaves
+the simulation bit-identical to the fault-free code path, and a seeded
+campaign is fully deterministic.
+"""
+
+import pytest
+
+from repro.apps.suite import ProfileLibrary
+from repro.apps.workload import ApplicationArrival, WorkloadType, generate_workload
+from repro.chip import default_chip
+from repro.core import ParmManager
+from repro.faults import (
+    DEFAULT_FAULT_RATES,
+    FaultCampaign,
+    FaultEvent,
+    FaultKind,
+    RecoveryPolicy,
+)
+from repro.noc.routing import make_routing
+from repro.runtime import RuntimeSimulator
+
+
+@pytest.fixture(scope="module")
+def library():
+    return ProfileLibrary()
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return default_chip()
+
+
+def simulate(chip, workload, routing="panr", seed=7, **kw):
+    sim = RuntimeSimulator(
+        chip, ParmManager(), make_routing(routing), seed=seed, **kw
+    )
+    return sim.run(workload)
+
+
+def domain_kill(chip, domains, time_s):
+    """TILE_FAIL events for every tile of the given domains."""
+    return [
+        FaultEvent(FaultKind.TILE_FAIL, time_s, tile)
+        for d in domains
+        for tile in chip.domains.tiles_of(d)
+    ]
+
+
+def app_signature(rec):
+    return (
+        rec.mapped_s,
+        rec.finished_s,
+        rec.dropped_s,
+        rec.failed_s,
+        rec.vdd,
+        rec.dop,
+        rec.ve_count,
+        rec.remap_count,
+    )
+
+
+class TestTileFaultRecovery:
+    def test_tile_fault_remaps_and_completes(self, library, chip):
+        """Killing 8 of 15 domains under a 32-thread app guarantees an
+        eviction (pigeonhole); the app must re-map onto the surviving
+        domains and still finish."""
+        w = [ApplicationArrival(0, library.get("fft"), 0.0, 100.0)]
+        camp = FaultCampaign.scheduled(domain_kill(chip, range(8), 0.02))
+        m = simulate(
+            chip,
+            w,
+            faults=camp,
+            recovery=RecoveryPolicy(max_total_remaps=64),
+        )
+        rec = m.apps[0]
+        assert m.completed_count == 1
+        assert rec.completed and rec.degraded
+        assert rec.remap_count >= 1
+        assert m.remap_count >= 1
+        assert m.fault_count == 32
+        assert m.failed_count == 0
+
+    def test_recovery_costs_wall_clock_time(self, library, chip):
+        """A recovered run can never finish earlier than the fault-free
+        one: rollback and restart penalties are real time."""
+        w = [ApplicationArrival(0, library.get("fft"), 0.0, 100.0)]
+        base = simulate(chip, w)
+        camp = FaultCampaign.scheduled(domain_kill(chip, range(8), 0.02))
+        faulted = simulate(
+            chip,
+            w,
+            faults=camp,
+            recovery=RecoveryPolicy(max_total_remaps=64),
+        )
+        assert faulted.total_time_s > base.total_time_s
+
+    def test_retries_exhausted_fails_cleanly(self, library, chip):
+        """With every domain dead no re-map can succeed; the app must be
+        abandoned via failed_s, not an exception."""
+        w = [ApplicationArrival(0, library.get("fft"), 0.0, 100.0)]
+        camp = FaultCampaign.scheduled(domain_kill(chip, range(15), 0.02))
+        m = simulate(chip, w, faults=camp)
+        rec = m.apps[0]
+        assert m.completed_count == 0
+        assert m.failed_count == 1
+        assert rec.failed and rec.failed_s is not None
+        assert not rec.completed and not rec.dropped
+        # The immediate attempt plus backoff retries were spent.
+        assert m.remap_retry_count >= 1
+
+
+class TestOtherFaultKinds:
+    def test_sensor_faults_do_not_break_panr(self, library, chip):
+        """Every sensor dead: PANR degrades to deterministic routing but
+        the workload still completes."""
+        events = [
+            FaultEvent(FaultKind.SENSOR_DEAD, 0.0, t)
+            for t in chip.mesh.tiles()
+        ]
+        w = generate_workload(
+            WorkloadType.MIXED, 0.1, n_apps=6, seed=2, library=library
+        )
+        m = simulate(chip, w, faults=FaultCampaign.scheduled(events))
+        assert m.fault_count == chip.mesh.tile_count
+        assert m.completed_count + m.dropped_count == 6
+        assert m.failed_count == 0
+
+    def test_vrm_droop_raises_emergencies(self, library, chip):
+        """A chip-wide droop pushes PSN over the VE margin, so the
+        faulted run must see strictly more emergencies."""
+        w = [ApplicationArrival(0, library.get("fft"), 0.0, 100.0)]
+        base = simulate(chip, w)
+        droops = [
+            FaultEvent(
+                FaultKind.VRM_DROOP, 0.01, d, duration_s=0.2, magnitude=8.0
+            )
+            for d in range(chip.domains.domain_count)
+        ]
+        m = simulate(chip, w, faults=FaultCampaign.scheduled(droops))
+        assert m.total_ve_count > base.total_ve_count
+        assert m.completed_count == 1
+
+
+class TestZeroFaultEquivalence:
+    def test_empty_campaign_bit_identical(self, library, chip):
+        """faults=None, an empty scheduled campaign, and a sampled
+        zero-intensity campaign must all produce bit-identical metrics
+        (the fault machinery stays fully dormant)."""
+        w = generate_workload(
+            WorkloadType.MIXED, 0.1, n_apps=8, seed=5, library=library
+        )
+        base = simulate(chip, w)
+        for camp in (
+            None,
+            FaultCampaign.scheduled([]),
+            FaultCampaign.sample(chip, 2.0, 11, intensity=0.0),
+        ):
+            m = simulate(chip, w, faults=camp)
+            assert m.total_time_s == base.total_time_s
+            assert m.peak_psn_pct == base.peak_psn_pct
+            assert m.avg_psn_pct == base.avg_psn_pct
+            assert m.total_ve_count == base.total_ve_count
+            assert m.fault_count == 0 and m.remap_count == 0
+            for aid, rec in base.apps.items():
+                assert app_signature(m.apps[aid]) == app_signature(rec)
+
+
+class TestCampaignDeterminism:
+    def test_same_seed_same_campaign_identical_metrics(self, library, chip):
+        """Two runs with identically seeded campaigns and simulator
+        seeds must agree on every metric (the repeatability guarantee
+        the sweep experiment rests on)."""
+        w = generate_workload(
+            WorkloadType.MIXED, 0.1, n_apps=8, seed=6, library=library
+        )
+        runs = []
+        for _ in range(2):
+            camp = FaultCampaign.sample(
+                chip, 1.5, 13, DEFAULT_FAULT_RATES.scaled(3.0)
+            )
+            runs.append(simulate(chip, w, seed=9, faults=camp))
+        a, b = runs
+        assert a.total_time_s == b.total_time_s
+        assert a.peak_psn_pct == b.peak_psn_pct
+        assert a.avg_psn_pct == b.avg_psn_pct
+        assert a.total_ve_count == b.total_ve_count
+        assert a.fault_count == b.fault_count and a.fault_count > 0
+        assert a.remap_count == b.remap_count
+        assert a.remap_retry_count == b.remap_retry_count
+        assert set(a.apps) == set(b.apps)
+        for aid in a.apps:
+            assert app_signature(a.apps[aid]) == app_signature(b.apps[aid])
