@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate the paper's figures.
+"""Command-line entry point: figures by default, plus subcommands.
 
 Usage::
 
@@ -6,6 +6,8 @@ Usage::
     python -m repro --preset full         # paper-sized runs
     python -m repro --sections fig1 fig8  # a subset of the figures
     python -m repro --output report.md    # write to a file
+    python -m repro lint                  # parmlint static analysis
+    python -m repro lint --format json    # CI gate (see docs/lint.md)
 """
 
 from __future__ import annotations
@@ -17,6 +19,15 @@ from repro.exp.report import PRESETS, generate_report
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # Subcommand dispatch; the bare invocation keeps its historical
+    # figure-regeneration behaviour.
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the PARM (DAC 2018) evaluation figures.",

@@ -1,0 +1,37 @@
+"""parmlint: AST-based determinism & invariant linter for the PARM repro.
+
+The PARM evaluation rests on reproducible simulation: fault campaigns
+promise bit-identical results at zero intensity, and the PDN/NoC/runtime
+stack encodes physical invariants (seeded RNG streams, SI-unit fields,
+finite node voltages).  ``repro.analysis`` enforces those invariants
+statically, so every future perf/scaling PR is checked automatically.
+
+Public surface:
+
+* :class:`~repro.analysis.findings.Finding` — one rule violation.
+* :class:`~repro.analysis.engine.LintEngine` — walks a source tree and
+  applies the registered rules.
+* :data:`~repro.analysis.rules.ALL_RULES` — the default rule set.
+* :func:`~repro.analysis.cli.main` — the ``python -m repro lint`` entry.
+
+See ``docs/lint.md`` for the rule catalogue and pragma syntax.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.engine import LintEngine, LintResult, ModuleInfo, Rule
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ALL_RULES, default_rules
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintEngine",
+    "LintResult",
+    "ModuleInfo",
+    "Rule",
+    "default_rules",
+    "load_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,64 @@
+"""Baseline ("ratchet") file for grandfathered findings.
+
+The baseline lets the lint gate be adopted on a codebase with known
+findings: existing violations are recorded once, the CI job fails only
+on *new* findings, and the file shrinks as old findings are fixed.
+
+Format — deliberately stable and diff-reviewable:
+
+* JSON object with a ``version`` and a sorted ``findings`` array;
+* one object per finding carrying the fingerprint fields *and* the
+  message (the message is informational — only ``path``/``line``/
+  ``rule`` participate in matching);
+* trailing newline, two-space indent, keys sorted.
+
+Regenerate with ``python -m repro lint --write-baseline`` after fixing
+or intentionally introducing findings; the diff then shows exactly what
+was added or removed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import FrozenSet, Iterable, List
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Default location, relative to the repository root.
+DEFAULT_BASELINE_NAME = ".parmlint-baseline.json"
+
+
+def load_baseline(path: Path) -> FrozenSet[str]:
+    """Return the set of baselined fingerprints (empty if absent)."""
+    if not path.exists():
+        return frozenset()
+    data = json.loads(path.read_text())
+    version = data.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {version!r} in {path}; "
+            f"expected {BASELINE_VERSION} — regenerate with "
+            "`python -m repro lint --write-baseline`"
+        )
+    return frozenset(
+        f"{entry['path']}:{entry['line']}:{entry['rule']}"
+        for entry in data.get("findings", [])
+    )
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Serialise ``findings`` as the new baseline (sorted, stable)."""
+    entries: List[dict] = [
+        {
+            "line": f.line,
+            "message": f.message,
+            "path": f.path,
+            "rule": f.rule,
+        }
+        for f in sorted(findings, key=lambda f: f.sort_key)
+    ]
+    payload = {"findings": entries, "version": BASELINE_VERSION}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

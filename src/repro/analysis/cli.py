@@ -1,0 +1,135 @@
+"""``python -m repro lint`` — the parmlint command-line entry point.
+
+Exit codes:
+
+* ``0`` — no findings beyond the committed baseline;
+* ``1`` — at least one new finding (this is what fails CI);
+* ``2`` — usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import LintEngine
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import default_rules
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory (``src/repro``)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def default_baseline_path(root: Path) -> Path:
+    """Nearest ancestor of ``root`` with a ``pyproject.toml``, else cwd.
+
+    With the repo layout (``<repo>/src/repro``) this lands on
+    ``<repo>/.parmlint-baseline.json`` no matter where the command is
+    invoked from.
+    """
+    for ancestor in root.parents:
+        if (ancestor / "pyproject.toml").exists():
+            return ancestor / DEFAULT_BASELINE_NAME
+    return Path.cwd() / DEFAULT_BASELINE_NAME
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description=(
+            "parmlint: AST-based determinism & invariant linter for the "
+            "PARM reproduction (see docs/lint.md)"
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        metavar="DIR",
+        help="package directory to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help=f"baseline file (default: <repo>/{DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file; report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record all current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    rules = default_rules()
+    if args.list_rules:
+        width = max(len(rule.id) for rule in rules)
+        for rule in rules:
+            print(f"{rule.id:<{width}}  {rule.description}")
+        return 0
+
+    root = Path(args.root).resolve() if args.root else default_root()
+    if not root.is_dir():
+        parser.error(f"--root {root} is not a directory")
+    result = LintEngine(rules).run(root)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else default_baseline_path(root)
+    )
+    if args.write_baseline:
+        write_baseline(baseline_path, result.findings)
+        print(
+            f"wrote {len(result.findings)} finding(s) to {baseline_path}"
+        )
+        return 0
+
+    if args.no_baseline:
+        baselined_prints = frozenset()
+    else:
+        try:
+            baselined_prints = load_baseline(baseline_path)
+        except ValueError as exc:
+            parser.error(str(exc))
+
+    new = [f for f in result.findings if f.fingerprint not in baselined_prints]
+    baselined = len(result.findings) - len(new)
+    stale = len(
+        baselined_prints - {f.fingerprint for f in result.findings}
+    )
+
+    render = render_json if args.format == "json" else render_text
+    print(render(result, new, baselined, stale))
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""Rule registry and visitor engine for parmlint.
+
+The engine separates three concerns:
+
+* **Discovery** — enumerate ``.py`` files under a root in sorted order
+  (deterministic output is itself one of parmlint's rules, so the
+  linter holds itself to it).
+* **Parsing** — each file becomes a :class:`ModuleInfo` carrying its
+  AST, dotted module name, and suppression-pragma index.  Files that do
+  not parse yield a synthetic ``parse-error`` finding instead of
+  crashing the run.
+* **Checking** — every registered :class:`Rule` gets a per-module hook
+  (:meth:`Rule.check_module`) and a whole-project hook
+  (:meth:`Rule.check_project`, used by e.g. the import-cycle rule).
+
+Findings suppressed by a pragma are counted but not reported; baseline
+filtering happens in the CLI layer so library callers always see the
+full picture.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import PragmaIndex, parse_pragmas
+
+PARSE_ERROR_RULE = "parse-error"
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file, as seen by the rules."""
+
+    path: Path
+    rel: str
+    module: str
+    source: str
+    tree: ast.Module
+    pragmas: PragmaIndex
+
+    @property
+    def package_parts(self) -> Sequence[str]:
+        """Dotted-name components, e.g. ``("repro", "pdn", "fast")``."""
+        return tuple(self.module.split("."))
+
+
+class Rule:
+    """Base class for parmlint rules.
+
+    Subclasses set :attr:`id`/:attr:`description` and override one (or
+    both) of the check hooks.  Hooks yield raw findings; the engine
+    applies pragma suppression afterwards, so rules never need to look
+    at comments themselves.
+    """
+
+    id: str = "abstract"
+    description: str = ""
+
+    def check_module(self, mod: ModuleInfo) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, mods: Sequence[ModuleInfo]) -> Iterable[Finding]:
+        return ()
+
+    def finding(self, mod: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=mod.rel,
+            line=getattr(node, "lineno", 0),
+            message=message,
+        )
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run (before baseline filtering)."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+
+
+def _module_name(rel_posix: str) -> str:
+    parts = rel_posix[: -len(".py")].split("/")
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else "__init__"
+
+
+def discover_files(root: Path) -> List[Path]:
+    """All ``.py`` files under ``root``, sorted for stable output."""
+    return sorted(p for p in root.rglob("*.py") if p.is_file())
+
+
+def load_module(path: Path, root: Path) -> ModuleInfo:
+    """Parse one file into a :class:`ModuleInfo`.
+
+    Raises:
+        SyntaxError: when the file does not parse; the engine converts
+            this into a ``parse-error`` finding.
+    """
+    source = path.read_text()
+    rel = path.relative_to(root.parent).as_posix()
+    return ModuleInfo(
+        path=path,
+        rel=rel,
+        module=_module_name(path.relative_to(root.parent).as_posix()),
+        source=source,
+        tree=ast.parse(source, filename=str(path)),
+        pragmas=parse_pragmas(source),
+    )
+
+
+class LintEngine:
+    """Applies a rule set to every Python file under a root directory.
+
+    Args:
+        rules: Rule instances to apply.  Rule ids must be unique.
+    """
+
+    def __init__(self, rules: Sequence[Rule]):
+        seen = set()
+        for rule in rules:
+            if rule.id in seen:
+                raise ValueError(f"duplicate rule id: {rule.id!r}")
+            seen.add(rule.id)
+        self._rules = list(rules)
+
+    @property
+    def rules(self) -> Sequence[Rule]:
+        return tuple(self._rules)
+
+    def run(self, root: Path) -> LintResult:
+        """Lint every ``.py`` file under ``root`` (a package directory)."""
+        result = LintResult()
+        modules: List[ModuleInfo] = []
+        for path in discover_files(root):
+            result.files_checked += 1
+            try:
+                modules.append(load_module(path, root))
+            except SyntaxError as exc:
+                result.findings.append(
+                    Finding(
+                        rule=PARSE_ERROR_RULE,
+                        path=path.relative_to(root.parent).as_posix(),
+                        line=exc.lineno or 0,
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                )
+
+        for mod in modules:
+            for rule in self._rules:
+                for finding in rule.check_module(mod):
+                    if mod.pragmas.suppresses(finding.rule, finding.line):
+                        result.suppressed += 1
+                    else:
+                        result.findings.append(finding)
+
+        by_rel = {mod.rel: mod for mod in modules}
+        for rule in self._rules:
+            for finding in rule.check_project(modules):
+                mod = by_rel.get(finding.path)
+                if mod is not None and mod.pragmas.suppresses(
+                    finding.rule, finding.line
+                ):
+                    result.suppressed += 1
+                else:
+                    result.findings.append(finding)
+
+        result.findings.sort(key=lambda f: f.sort_key)
+        return result

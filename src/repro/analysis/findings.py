@@ -1,0 +1,42 @@
+"""The :class:`Finding` record shared by every parmlint rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    Attributes:
+        rule: Rule identifier, e.g. ``"float-eq"``.
+        path: Path of the offending file, POSIX-style and relative to
+            the lint root so fingerprints are machine-independent.
+        line: 1-based line number (0 for whole-file/project findings).
+        message: Human-readable description of the violation.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity used by the baseline file.
+
+        Deliberately excludes the message so wording tweaks in a rule do
+        not invalidate grandfathered entries; line numbers *are*
+        included, so unrelated edits above a baselined finding require a
+        baseline regeneration (documented in ``docs/lint.md``).
+        """
+        return f"{self.path}:{self.line}:{self.rule}"
+
+    @property
+    def sort_key(self) -> Tuple[str, int, str, str]:
+        return (self.path, self.line, self.rule, self.message)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"

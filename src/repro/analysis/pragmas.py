@@ -1,0 +1,80 @@
+"""Inline suppression pragmas.
+
+Two forms, mirroring ``noqa``-style suppression but always explicit
+about *which* rule is being waived:
+
+* ``# parmlint: ok[rule-a, rule-b]`` — suppress the listed rules on the
+  line carrying the pragma.  When the pragma sits on a comment-only
+  line, it applies to the next line as well, so long expressions can be
+  annotated without exceeding line-length limits::
+
+      # parmlint: ok[float-eq]
+      if app.exec_time_s == 0.0:
+          ...
+
+* ``# parmlint: ok-file[rule-a]`` — suppress the listed rules for the
+  whole file.  Reserved for modules whose *purpose* conflicts with a
+  rule (e.g. wall-clock timing in ``exp/report.py``).
+
+Blanket pragmas (``# parmlint: ok`` with no rule list) are rejected by
+construction: the regex requires a bracketed rule list, so an unlisted
+suppression simply never matches and the finding still fires.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+_PRAGMA_RE = re.compile(
+    r"#\s*parmlint:\s*(?P<scope>ok-file|ok)\[(?P<rules>[a-z0-9\-_,\s]+)\]"
+)
+
+
+@dataclass
+class PragmaIndex:
+    """Per-file index of parmlint suppression pragmas."""
+
+    file_rules: FrozenSet[str] = frozenset()
+    line_rules: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        """True when ``rule`` is waived at ``line`` (1-based)."""
+        if rule in self.file_rules:
+            return True
+        return rule in self.line_rules.get(line, frozenset())
+
+
+def parse_pragmas(source: str) -> PragmaIndex:
+    """Scan ``source`` and build its :class:`PragmaIndex`.
+
+    The scan is line-based rather than tokenize-based so that files with
+    syntax errors still yield their pragmas (the parse-error finding
+    should not cascade into bogus suppression misses).
+    """
+    file_rules: Set[str] = set()
+    line_rules: Dict[int, Set[str]] = {}
+    lines = source.splitlines()
+    for lineno, text in enumerate(lines, start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = {
+            name
+            for name in (part.strip() for part in match.group("rules").split(","))
+            if name
+        }
+        if not rules:
+            continue
+        if match.group("scope") == "ok-file":
+            file_rules |= rules
+            continue
+        line_rules.setdefault(lineno, set()).update(rules)
+        # A comment-only pragma line also covers the following line.
+        if text[: match.start()].strip() == "" and lineno < len(lines):
+            line_rules.setdefault(lineno + 1, set()).update(rules)
+    return PragmaIndex(
+        file_rules=frozenset(file_rules),
+        line_rules={k: frozenset(v) for k, v in line_rules.items()},
+    )

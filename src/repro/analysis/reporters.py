@@ -1,0 +1,61 @@
+"""Text and JSON reporters for parmlint results."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.analysis.engine import LintResult
+from repro.analysis.findings import Finding
+
+REPORT_VERSION = 1
+
+
+def render_text(
+    result: LintResult,
+    new_findings: Sequence[Finding],
+    baselined: int,
+    stale_baseline: int,
+) -> str:
+    """Human-readable report: one line per new finding + a summary."""
+    lines: List[str] = [f.render() for f in new_findings]
+    summary = (
+        f"parmlint: {result.files_checked} file(s) checked, "
+        f"{len(new_findings)} new finding(s), {baselined} baselined, "
+        f"{result.suppressed} pragma-suppressed"
+    )
+    if stale_baseline:
+        summary += (
+            f"; {stale_baseline} stale baseline entrie(s) — regenerate "
+            "with --write-baseline"
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    result: LintResult,
+    new_findings: Sequence[Finding],
+    baselined: int,
+    stale_baseline: int,
+) -> str:
+    """Machine-readable report (stable key order) for the CI gate."""
+    payload = {
+        "baselined": baselined,
+        "files_checked": result.files_checked,
+        "findings": [
+            {
+                "fingerprint": f.fingerprint,
+                "line": f.line,
+                "message": f.message,
+                "path": f.path,
+                "rule": f.rule,
+            }
+            for f in new_findings
+        ],
+        "new_count": len(new_findings),
+        "stale_baseline": stale_baseline,
+        "suppressed": result.suppressed,
+        "version": REPORT_VERSION,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

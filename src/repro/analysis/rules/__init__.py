@@ -1,0 +1,53 @@
+"""The parmlint rule registry.
+
+Adding a rule: subclass :class:`repro.analysis.engine.Rule` in a new
+module here, give it a unique kebab-case ``id``, and append it to
+:data:`ALL_RULES`.  The CLI, baseline, and pragma machinery pick it up
+automatically; add a section to ``docs/lint.md`` and fixture tests in
+``tests/analysis/``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Type
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.float_eq import FloatEqRule
+from repro.analysis.rules.import_cycle import ImportCycleRule
+from repro.analysis.rules.mutable_default import MutableDefaultRule
+from repro.analysis.rules.seeded_rng import SeededRngRule
+from repro.analysis.rules.set_iteration import SetIterationRule
+from repro.analysis.rules.silent_except import SilentExceptRule
+from repro.analysis.rules.unit_suffix import UnitSuffixRule
+from repro.analysis.rules.wall_clock import WallClockRule
+
+#: Every registered rule class, in documentation order.
+ALL_RULES: List[Type[Rule]] = [
+    SeededRngRule,
+    WallClockRule,
+    FloatEqRule,
+    SilentExceptRule,
+    MutableDefaultRule,
+    UnitSuffixRule,
+    ImportCycleRule,
+    SetIterationRule,
+]
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every registered rule."""
+    return [cls() for cls in ALL_RULES]
+
+
+__all__ = [
+    "ALL_RULES",
+    "FloatEqRule",
+    "ImportCycleRule",
+    "MutableDefaultRule",
+    "SeededRngRule",
+    "SetIterationRule",
+    "SilentExceptRule",
+    "UnitSuffixRule",
+    "WallClockRule",
+    "default_rules",
+]

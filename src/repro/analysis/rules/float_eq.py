@@ -1,0 +1,87 @@
+"""Rule ``float-eq``: no ``==`` / ``!=`` between float expressions.
+
+Exact float equality is almost always a latent bug in numeric
+simulation code: two mathematically-equal expressions differ in the
+last ulp, and the branch silently flips between platforms or after a
+refactor.  Use an ordered comparison (``<= 0.0`` for non-negative
+quantities), ``math.isclose``, or — for a genuine *sentinel* value that
+is only ever assigned exactly (e.g. "not yet estimated" = ``0.0``) —
+annotate the line with ``# parmlint: ok[float-eq]``.
+
+Detection is heuristic (Python is untyped); an operand "looks float"
+when it is
+
+* a float literal (``0.0``, ``1e-9``), or
+* a name/attribute carrying a recognised unit suffix (``exec_time_s``,
+  ``total_power_w``, ...), the same convention the ``unit-suffix`` rule
+  enforces, or
+* an arithmetic expression containing either of the above.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import ModuleInfo, Rule
+from repro.analysis.findings import Finding
+
+#: Name suffixes that mark a value as a physical float quantity.
+FLOAT_SUFFIXES = (
+    "_s",
+    "_v",
+    "_w",
+    "_hz",
+    "_j",
+    "_pct",
+    "_c",
+    "_ohm",
+    "_f",
+    "_h",
+)
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.Pow, ast.Mod)
+
+
+def _looks_float(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Name):
+        return node.id.endswith(FLOAT_SUFFIXES)
+    if isinstance(node, ast.Attribute):
+        return node.attr.endswith(FLOAT_SUFFIXES)
+    if isinstance(node, ast.UnaryOp):
+        return _looks_float(node.operand)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _ARITH_OPS):
+        return _looks_float(node.left) or _looks_float(node.right)
+    return False
+
+
+class FloatEqRule(Rule):
+    id = "float-eq"
+    description = (
+        "no ==/!= on float expressions; use ordered comparison, "
+        "math.isclose, or an explicit sentinel pragma"
+    )
+
+    def check_module(self, mod: ModuleInfo) -> Iterable[Finding]:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if _looks_float(left) or _looks_float(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        mod,
+                        node,
+                        f"float `{symbol}` comparison "
+                        f"(`{ast.unparse(left)} {symbol} "
+                        f"{ast.unparse(right)}`); use an ordered "
+                        "comparison / math.isclose, or mark an "
+                        "intentional sentinel with "
+                        "`# parmlint: ok[float-eq]`",
+                    )

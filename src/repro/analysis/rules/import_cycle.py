@@ -1,0 +1,129 @@
+"""Rule ``import-cycle``: the ``repro`` module graph stays acyclic.
+
+The layering is deliberate — ``core`` < ``chip``/``apps`` < ``pdn`` /
+``noc`` < ``runtime`` < ``exp`` — and import cycles are how that decays:
+one convenience import and two subsystems can no longer be tested or
+reasoned about independently.  This is a whole-project rule: it builds
+the import graph from every module's AST and reports each strongly
+connected component larger than one module (or a self-import).
+
+Only static ``import``/``from ... import`` statements are considered;
+imports created at run time (``importlib``) are out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.analysis.engine import ModuleInfo, Rule
+from repro.analysis.findings import Finding
+
+
+def _resolve(target: str, known: Set[str]) -> str:
+    """Longest known module prefix of ``target`` ('' when external)."""
+    parts = target.split(".")
+    while parts:
+        cand = ".".join(parts)
+        if cand in known:
+            return cand
+        parts.pop()
+    return ""
+
+
+def _edges(mod: ModuleInfo, known: Set[str]) -> Set[str]:
+    out: Set[str] = set()
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                resolved = _resolve(alias.name, known)
+                if resolved:
+                    out.add(resolved)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # Relative import: anchor on this module's package.
+                base_parts = mod.module.split(".")[: -node.level]
+                prefix = ".".join(base_parts)
+                base = f"{prefix}.{node.module}" if node.module else prefix
+            else:
+                base = node.module or ""
+            for alias in node.names:
+                resolved = _resolve(f"{base}.{alias.name}", known) or _resolve(
+                    base, known
+                )
+                if resolved:
+                    out.add(resolved)
+    out.discard(mod.module)
+    return out
+
+
+def _strongly_connected(graph: Dict[str, Set[str]]) -> List[List[str]]:
+    """Tarjan's SCC, iterative, deterministic over sorted nodes."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work = [(root, iter(sorted(graph[root])))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph[succ]))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(scc))
+    return sccs
+
+
+class ImportCycleRule(Rule):
+    id = "import-cycle"
+    description = "the repro import graph must stay acyclic"
+
+    def check_project(self, mods: Sequence[ModuleInfo]) -> Iterable[Finding]:
+        by_name = {mod.module: mod for mod in mods}
+        known = set(by_name)
+        graph = {mod.module: _edges(mod, known) for mod in mods}
+        for scc in _strongly_connected(graph):
+            is_cycle = len(scc) > 1 or scc[0] in graph.get(scc[0], set())
+            if not is_cycle:
+                continue
+            rep = by_name[scc[0]]
+            yield Finding(
+                rule=self.id,
+                path=rep.rel,
+                line=0,
+                message=(
+                    "import cycle between modules: " + " -> ".join(scc)
+                ),
+            )

@@ -1,0 +1,62 @@
+"""Rule ``mutable-default``: no mutable default argument values.
+
+A mutable default (``def f(xs=[])``) is evaluated once at function
+definition and then *shared across calls* — in a simulator this couples
+independent runs through hidden state, the exact failure mode the
+determinism rules exist to prevent.  Use ``None`` + an in-body default,
+or ``dataclasses.field(default_factory=...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import ModuleInfo, Rule
+from repro.analysis.findings import Finding
+from repro.analysis.rules._util import attr_chain
+
+#: Constructor names whose call results are mutable.
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque"}
+)
+
+
+def _is_mutable(node: ast.AST) -> bool:
+    if isinstance(
+        node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        chain = attr_chain(node.func)
+        return chain is not None and chain[-1] in _MUTABLE_CALLS
+    return False
+
+
+class MutableDefaultRule(Rule):
+    id = "mutable-default"
+    description = "no list/dict/set (or similar) default argument values"
+
+    def check_module(self, mod: ModuleInfo) -> Iterable[Finding]:
+        for node in ast.walk(mod.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = [
+                *node.args.defaults,
+                *(d for d in node.args.kw_defaults if d is not None),
+            ]
+            for default in defaults:
+                if _is_mutable(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield Finding(
+                        rule=self.id,
+                        path=mod.rel,
+                        line=default.lineno,
+                        message=(
+                            f"mutable default `{ast.unparse(default)}` in "
+                            f"`{name}` is shared across calls; default to "
+                            "None and construct inside the body"
+                        ),
+                    )

@@ -1,0 +1,114 @@
+"""Rule ``seeded-rng``: no process-global RNG state in simulation code.
+
+PARM's fault campaigns promise bit-identical replays for a fixed seed;
+one call to ``random.random()`` or ``np.random.normal()`` breaks that
+promise silently, because those functions draw from hidden module-level
+state shared by every caller.  Stochastic code must thread an explicit
+``numpy.random.Generator`` (or a seed that constructs one) instead.
+
+Allowed constructors — instance-based, seedable APIs:
+
+* ``np.random.default_rng(seed)`` / ``Generator`` / ``SeedSequence``
+  and the bit-generator classes;
+* stdlib ``random.Random(seed)`` (an owned instance, not the module).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import ModuleInfo, Rule
+from repro.analysis.findings import Finding
+from repro.analysis.rules._util import attr_chain, from_imports, module_aliases
+
+#: Instance-based numpy.random names that do not touch global state.
+SAFE_NUMPY = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "RandomState",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Stdlib ``random`` names that are safe to import/call.  SystemRandom
+#: is deliberately absent: it is OS-entropy backed and never replayable.
+SAFE_STDLIB = frozenset({"Random"})
+
+
+class SeededRngRule(Rule):
+    id = "seeded-rng"
+    description = (
+        "no global-state random.* / np.random.* calls; thread a seeded "
+        "numpy.random.Generator"
+    )
+
+    def check_module(self, mod: ModuleInfo) -> Iterable[Finding]:
+        tree = mod.tree
+        random_aliases = module_aliases(tree, "random")
+        numpy_aliases = module_aliases(tree, "numpy")
+        np_random_aliases = module_aliases(tree, "numpy.random")
+
+        for name, local, lineno in from_imports(tree, "random"):
+            if name not in SAFE_STDLIB:
+                yield Finding(
+                    rule=self.id,
+                    path=mod.rel,
+                    line=lineno,
+                    message=(
+                        f"`from random import {name}` binds a global-state "
+                        "RNG function; use random.Random(seed) or a "
+                        "numpy Generator"
+                    ),
+                )
+        for name, local, lineno in from_imports(tree, "numpy.random"):
+            if name not in SAFE_NUMPY:
+                yield Finding(
+                    rule=self.id,
+                    path=mod.rel,
+                    line=lineno,
+                    message=(
+                        f"`from numpy.random import {name}` binds a "
+                        "global-state RNG function; use default_rng(seed)"
+                    ),
+                )
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain is None or len(chain) < 2:
+                continue
+            if chain[0] in random_aliases and chain[1] not in SAFE_STDLIB:
+                yield self.finding(
+                    mod,
+                    node,
+                    f"call to {'.'.join(chain)} uses the process-global "
+                    "RNG; thread a seeded Generator/Random instance",
+                )
+            elif (
+                chain[0] in numpy_aliases
+                and len(chain) >= 3
+                and chain[1] == "random"
+                and chain[2] not in SAFE_NUMPY
+            ):
+                yield self.finding(
+                    mod,
+                    node,
+                    f"call to {'.'.join(chain)} uses numpy's global RNG "
+                    "state; use np.random.default_rng(seed)",
+                )
+            elif chain[0] in np_random_aliases and chain[1] not in SAFE_NUMPY:
+                yield self.finding(
+                    mod,
+                    node,
+                    f"call to {'.'.join(chain)} uses numpy's global RNG "
+                    "state; use default_rng(seed)",
+                )

@@ -1,0 +1,111 @@
+"""Rule ``nondet-set-iter``: no iteration over bare sets in sim paths.
+
+Set iteration order follows hash values, not insertion order: for
+strings it changes per process (hash randomisation), and even for ints
+it reorders when the set's history changes.  A ``for`` loop over a set
+in a simulation path therefore produces run-order-dependent floating
+point accumulation and tie-breaking.  Wrap the set in ``sorted(...)``
+(every real fix in this repo) or annotate a genuinely order-free loop
+with ``# parmlint: ok[nondet-set-iter]``.
+
+Detection is heuristic: an expression "is a set" when it is a set
+literal / set comprehension, a ``set(...)``/``frozenset(...)`` call, a
+binary ``| & ^ -`` of two such expressions, or a name whose annotation
+(parameter or variable) is ``Set[...]``/``set``.  Flagged contexts are
+``for`` loops, comprehension sources, and ``list()``/``tuple()``/
+``enumerate()`` over a set (an order-sensitive materialisation).
+``sorted(...)`` and membership tests are, of course, fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from repro.analysis.engine import ModuleInfo, Rule
+from repro.analysis.findings import Finding
+
+_SET_ANNOTATIONS = ("Set[", "set[", "FrozenSet[", "frozenset[")
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate"})
+
+
+def _annotated_set_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+
+    def record(name: str, annotation: ast.AST) -> None:
+        text = ast.unparse(annotation)
+        if text in ("set", "frozenset") or text.startswith(_SET_ANNOTATIONS):
+            names.add(name)
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = [
+                *node.args.posonlyargs,
+                *node.args.args,
+                *node.args.kwonlyargs,
+            ]
+            for arg in args:
+                if arg.annotation is not None:
+                    record(arg.arg, arg.annotation)
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            record(node.target.id, node.annotation)
+    return names
+
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_expr(node.left, set_names) and _is_set_expr(
+            node.right, set_names
+        )
+    return False
+
+
+class SetIterationRule(Rule):
+    id = "nondet-set-iter"
+    description = (
+        "no iteration over bare sets; wrap in sorted() for stable order"
+    )
+
+    def check_module(self, mod: ModuleInfo) -> Iterable[Finding]:
+        set_names = _annotated_set_names(mod.tree)
+
+        def flag(node: ast.AST, what: str) -> Finding:
+            return Finding(
+                rule=self.id,
+                path=mod.rel,
+                line=node.lineno,
+                message=(
+                    f"{what} iterates a set in hash order; wrap in "
+                    "sorted() or annotate with "
+                    "`# parmlint: ok[nondet-set-iter]`"
+                ),
+            )
+
+        for node in ast.walk(mod.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter, set_names):
+                    yield flag(node, "for-loop")
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter, set_names):
+                        yield flag(node, "comprehension")
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_SENSITIVE_CALLS
+                and node.args
+                and _is_set_expr(node.args[0], set_names)
+            ):
+                yield flag(node, f"{node.func.id}() call")

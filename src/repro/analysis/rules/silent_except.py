@@ -1,0 +1,52 @@
+"""Rule ``silent-except``: no bare or pass-only exception handlers.
+
+PR 1 added fault injection precisely so failures propagate in a
+controlled way; a ``try: ... except: pass`` anywhere in the stack
+defeats that by discarding evidence.  Handlers must either name the
+exception *and* do something (log, re-raise, degrade explicitly), or be
+annotated with ``# parmlint: ok[silent-except]`` where swallowing is a
+documented design decision.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import ModuleInfo, Rule
+from repro.analysis.findings import Finding
+
+
+def _is_noop(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, ast.Pass):
+        return True
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Constant)
+        and stmt.value.value is Ellipsis
+    )
+
+
+class SilentExceptRule(Rule):
+    id = "silent-except"
+    description = "no bare `except:` and no pass-only exception handlers"
+
+    def check_module(self, mod: ModuleInfo) -> Iterable[Finding]:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    mod,
+                    node,
+                    "bare `except:` catches SystemExit/KeyboardInterrupt "
+                    "and hides faults; name the exception type",
+                )
+            elif all(_is_noop(stmt) for stmt in node.body):
+                yield self.finding(
+                    mod,
+                    node,
+                    "exception handler silently swallows the error; "
+                    "handle it, re-raise, or annotate with "
+                    "`# parmlint: ok[silent-except]`",
+                )

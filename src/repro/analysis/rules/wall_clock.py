@@ -1,0 +1,93 @@
+"""Rule ``wall-clock``: no real-time reads inside simulation logic.
+
+Simulated time lives in the model (``exec_time_s``, cycle counters);
+reading the host's clock couples results to machine load and breaks
+replay.  ``time.perf_counter`` & friends are legitimate in reporting
+code (``exp/``) — annotate those call sites with
+``# parmlint: ok[wall-clock]`` (or ``ok-file`` for timing-only
+modules).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import ModuleInfo, Rule
+from repro.analysis.findings import Finding
+from repro.analysis.rules._util import attr_chain, from_imports, module_aliases
+
+#: ``time`` module functions that read (or depend on) the wall clock.
+BANNED_TIME = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "sleep",
+    }
+)
+
+#: ``datetime``/``date`` constructors that capture "now".
+BANNED_NOW = frozenset({"now", "utcnow", "today"})
+
+
+class WallClockRule(Rule):
+    id = "wall-clock"
+    description = (
+        "no time.time/perf_counter/datetime.now in simulation logic "
+        "(pragma-annotate reporting code)"
+    )
+
+    def check_module(self, mod: ModuleInfo) -> Iterable[Finding]:
+        tree = mod.tree
+        time_aliases = module_aliases(tree, "time")
+        datetime_mod_aliases = module_aliases(tree, "datetime")
+        datetime_cls_aliases = {
+            local
+            for name, local, _ in from_imports(tree, "datetime")
+            if name in ("datetime", "date")
+        }
+
+        for name, _, lineno in from_imports(tree, "time"):
+            if name in BANNED_TIME:
+                yield Finding(
+                    rule=self.id,
+                    path=mod.rel,
+                    line=lineno,
+                    message=(
+                        f"`from time import {name}` imports a wall-clock "
+                        "function into simulation code"
+                    ),
+                )
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain is None or len(chain) < 2:
+                continue
+            dotted = ".".join(chain)
+            if chain[0] in time_aliases and chain[1] in BANNED_TIME:
+                yield self.finding(
+                    mod,
+                    node,
+                    f"call to {dotted} reads the wall clock; simulated "
+                    "time must come from the model",
+                )
+            elif (
+                chain[0] in datetime_mod_aliases
+                and chain[-1] in BANNED_NOW
+            ) or (
+                chain[0] in datetime_cls_aliases and chain[1] in BANNED_NOW
+            ):
+                yield self.finding(
+                    mod,
+                    node,
+                    f"call to {dotted} captures the current date/time; "
+                    "results become machine-dependent",
+                )

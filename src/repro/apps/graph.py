@@ -266,7 +266,7 @@ class ApplicationGraph:
                     nxt, size=min(fanout, len(nxt)), replace=False
                 )
                 for v in targets:
-                    if g.volume(u, int(v)) == 0.0:
+                    if g.volume(u, int(v)) <= 0.0:
                         g.add_edge(u, int(v), float(rng.uniform(*volume_range)))
             for v in nxt:
                 if not g.predecessors(v):

@@ -327,7 +327,7 @@ class AnalyticalNocModel:
         for flow in flows:
             splits: Dict[int, Dict[Direction, float]] = {}
             blocked = False
-            if flow.rate == 0.0 or flow.src == flow.dst:
+            if flow.rate <= 0.0 or flow.src == flow.dst:
                 per_flow_splits.append(splits)
                 unroutable.append(False)
                 continue
@@ -389,7 +389,7 @@ class AnalyticalNocModel:
         per_hop_cycles: float,
         unroutable: bool = False,
     ) -> FlowStats:
-        if flow.src == flow.dst or flow.rate == 0.0 or not splits:
+        if flow.src == flow.dst or flow.rate <= 0.0 or not splits:
             return FlowStats(
                 avg_hops=0.0,
                 header_latency_cycles=0.0,

@@ -164,7 +164,7 @@ def _design_row(
 ) -> Optional[np.ndarray]:
     """Feature vector so that psn_pct = 100/vdd * row . z."""
     me = loads[tile]
-    if me is None or me.total_power_w == 0.0:
+    if me is None or me.total_power_w <= 0.0:
         return None
     row = np.zeros(len(_UNKNOWNS))
     i_core = me.core_power_w / vdd
@@ -172,7 +172,7 @@ def _design_row(
     row[0 if me.activity_bin is ActivityBin.HIGH else 1] = i_core
     row[6] = i_router
     for j, other in enumerate(loads):
-        if j == tile or other is None or other.total_power_w == 0.0:
+        if j == tile or other is None or other.total_power_w <= 0.0:
             continue
         dist = int(DOMAIN_DISTANCES[tile, j])
         kappa = 1.0 if dist == 1 else kappa2

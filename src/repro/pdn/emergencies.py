@@ -85,7 +85,7 @@ class VoltageEmergencyPolicy:
         if duration_s < 0:
             raise ValueError("duration_s must be non-negative")
         rate = self.expected_rate_hz(peak_psn_pct)
-        if rate == 0.0 or duration_s == 0.0:
+        if rate <= 0.0 or duration_s <= 0.0:
             return 0
         mean = min(rate * duration_s, MAX_POISSON_MEAN)
         return int(rng.poisson(mean))

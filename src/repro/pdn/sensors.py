@@ -154,7 +154,10 @@ class SensorNetwork:
         fault = self._faults.get(tile)
         if fault is None:
             return
-        if since_s is not None and fault.since_s != since_s:
+        # Identity check, not arithmetic: both timestamps come from the
+        # same assignment, so exact inequality is the correct test (a
+        # tolerance could clear a *different* fault injected nearby).
+        if since_s is not None and fault.since_s != since_s:  # parmlint: ok[float-eq]
             return
         del self._faults[tile]
 

@@ -64,7 +64,7 @@ def apply_phase_convention(
     counters = {bin_: 0 for bin_ in ActivityBin}
     out: List[TileLoad] = []
     for load in loads:
-        if load.total_power_w == 0.0:
+        if load.total_power_w <= 0.0:
             out.append(load)
             continue
         k = counters[load.activity_bin]

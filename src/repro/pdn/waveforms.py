@@ -171,7 +171,7 @@ class CurrentWaveform:
         phase_s: float,
         freq_scale: float,
     ) -> np.ndarray:
-        if mean == 0.0:
+        if mean <= 0.0:
             return np.zeros_like(t)
         # tanh(k * sin(...)) is a smooth square wave with zero mean and
         # unit amplitude (up to tanh(k)); its edge di/dt scales with both

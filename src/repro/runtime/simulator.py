@@ -684,7 +684,7 @@ class RuntimeSimulator:
                 avg_hops=avg_hops,
                 latency_scale=latency_scale,
             ) * self._checkpoints.execution_dilation(freq)
-            if app.exec_time_s == 0.0:
+            if app.exec_time_s <= 0.0:
                 # Freshly (re-)mapped: owe the resume fraction of the new
                 # estimate plus any rollback/restart penalty.  For a fresh
                 # mapping this is exactly ``exec_time * 1.0 + 0.0``.
@@ -692,7 +692,9 @@ class RuntimeSimulator:
                     exec_time * app.resume_fraction + app.pending_penalty_s
                 )
                 app.pending_penalty_s = 0.0
-            elif exec_time != app.exec_time_s:
+            else:
+                # Rescale to the new estimate; the ratio is exactly 1.0
+                # when the estimate is unchanged, so this is a no-op then.
                 app.remaining_s *= exec_time / app.exec_time_s
             app.exec_time_s = exec_time
 
@@ -735,7 +737,7 @@ class RuntimeSimulator:
                 for t in tiles
             ]
             if vdd is None:
-                if all(r == 0.0 for r in router_rates):
+                if all(r <= 0.0 for r in router_rates):
                     continue  # fully dark and quiet
                 # Idle domain carrying through-traffic: the NoC keeps its
                 # routers powered at the lowest DVS step.

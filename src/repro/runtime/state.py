@@ -232,7 +232,7 @@ class ChipState:
         ]
         for tile in freed:
             del self._occupants[tile]
-        for d in {domains.domain_of(t) for t in freed}:
+        for d in sorted({domains.domain_of(t) for t in freed}):
             if all(t not in self._occupants for t in domains.tiles_of(d)):
                 self._domain_vdd.pop(d, None)
         del self._app_power_w[app_id]

@@ -1,0 +1,136 @@
+"""End-to-end CLI tests: exit codes, formats, baseline workflow, and the
+acceptance gate — ``python -m repro lint`` exits 0 on this repo."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+VIOLATION = (
+    "import random\n"
+    "x = random.random()\n"
+    "flag = rate == 0.0\n"
+)
+
+
+@pytest.fixture
+def fixture_pkg(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "bad.py").write_text(VIOLATION)
+    return pkg
+
+
+class TestExitCodes:
+    def test_violating_fixture_exits_nonzero(self, fixture_pkg, capsys):
+        rc = lint_main(["--root", str(fixture_pkg), "--no-baseline"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "seeded-rng" in out
+        assert "float-eq" in out
+
+    def test_clean_fixture_exits_zero(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "good.py").write_text("power_w = 0.0\n")
+        assert lint_main(["--root", str(pkg), "--no-baseline"]) == 0
+
+    def test_repo_lints_clean(self, capsys):
+        """Acceptance: the shipped tree has no findings at all."""
+        rc = lint_main(
+            ["--root", str(REPO_ROOT / "src" / "repro"), "--no-baseline"]
+        )
+        assert rc == 0, capsys.readouterr().out
+
+
+class TestJsonFormat:
+    def test_payload_shape(self, fixture_pkg, capsys):
+        rc = lint_main(
+            ["--root", str(fixture_pkg), "--no-baseline", "--format", "json"]
+        )
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["new_count"] == len(payload["findings"]) == 2
+        rules = {f["rule"] for f in payload["findings"]}
+        assert rules == {"seeded-rng", "float-eq"}
+
+
+class TestBaselineWorkflow:
+    def test_write_then_pass_then_ratchet(self, fixture_pkg, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        args = ["--root", str(fixture_pkg), "--baseline", str(baseline)]
+        # 1. Grandfather the existing findings.
+        assert lint_main([*args, "--write-baseline"]) == 0
+        # 2. Baselined findings no longer fail the gate.
+        assert lint_main(args) == 0
+        assert "2 baselined" in capsys.readouterr().out
+        # 3. A *new* finding still fails it.
+        (fixture_pkg / "worse.py").write_text("import time\nt = time.time()\n")
+        assert lint_main(args) == 1
+        out = capsys.readouterr().out
+        assert "wall-clock" in out
+        assert "2 baselined" in out
+
+    def test_stale_entries_reported(self, fixture_pkg, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        args = ["--root", str(fixture_pkg), "--baseline", str(baseline)]
+        assert lint_main([*args, "--write-baseline"]) == 0
+        (fixture_pkg / "bad.py").write_text("power_w = 0.0\n")
+        assert lint_main(args) == 0
+        assert "stale baseline" in capsys.readouterr().out
+
+
+class TestListRules:
+    def test_lists_all_eight(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in (
+            "seeded-rng",
+            "wall-clock",
+            "float-eq",
+            "silent-except",
+            "mutable-default",
+            "unit-suffix",
+            "import-cycle",
+            "nondet-set-iter",
+        ):
+            assert rule in out
+
+
+class TestModuleEntryPoint:
+    def _run(self, *args, cwd=REPO_ROOT):
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "lint", *args],
+            cwd=cwd,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+
+    def test_repo_gate_exits_zero(self):
+        """Acceptance: `python -m repro lint` exits 0 on the repo, using
+        the committed baseline."""
+        proc = self._run()
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 new finding(s)" in proc.stdout
+
+    def test_json_gate(self):
+        proc = self._run("--format", "json")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["new_count"] == 0
+
+    def test_violating_root_exits_nonzero(self, fixture_pkg):
+        proc = self._run("--root", str(fixture_pkg), "--no-baseline")
+        assert proc.returncode == 1
+        assert "seeded-rng" in proc.stdout

@@ -1,0 +1,140 @@
+"""Engine, pragma, baseline, and reporter behaviour."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.engine import LintEngine, Rule
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import parse_pragmas
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import default_rules
+
+
+def write_pkg(root: Path, files) -> Path:
+    """Lay out a fake package under ``root/pkg`` and return its dir."""
+    pkg = root / "pkg"
+    for rel, source in files.items():
+        path = pkg / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return pkg
+
+
+class TestPragmas:
+    def test_same_line(self):
+        idx = parse_pragmas("x = a == 0.0  # parmlint: ok[float-eq]\n")
+        assert idx.suppresses("float-eq", 1)
+        assert not idx.suppresses("wall-clock", 1)
+
+    def test_comment_line_covers_next(self):
+        idx = parse_pragmas(
+            "# parmlint: ok[float-eq, wall-clock]\nx = a == 0.0\n"
+        )
+        assert idx.suppresses("float-eq", 2)
+        assert idx.suppresses("wall-clock", 2)
+        assert not idx.suppresses("float-eq", 3)
+
+    def test_file_scope(self):
+        idx = parse_pragmas("# parmlint: ok-file[wall-clock]\n\nx = 1\n")
+        assert idx.suppresses("wall-clock", 999)
+        assert not idx.suppresses("float-eq", 999)
+
+    def test_unlisted_rule_not_suppressed(self):
+        idx = parse_pragmas("x = 1  # parmlint: ok[other-rule]\n")
+        assert not idx.suppresses("float-eq", 1)
+
+
+class TestEngine:
+    def test_findings_sorted_and_counted(self, tmp_path):
+        pkg = write_pkg(
+            tmp_path,
+            {
+                "__init__.py": "",
+                "b.py": "import time\nt = time.time()\n",
+                "a.py": "x = rate == 0.0\n",
+            },
+        )
+        result = LintEngine(default_rules()).run(pkg)
+        assert result.files_checked == 3
+        assert [f.path for f in result.findings] == ["pkg/a.py", "pkg/b.py"]
+
+    def test_suppressed_counted_not_reported(self, tmp_path):
+        pkg = write_pkg(
+            tmp_path,
+            {"a.py": "x = rate == 0.0  # parmlint: ok[float-eq]\n"},
+        )
+        result = LintEngine(default_rules()).run(pkg)
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        pkg = write_pkg(tmp_path, {"bad.py": "def broken(:\n"})
+        result = LintEngine(default_rules()).run(pkg)
+        assert len(result.findings) == 1
+        assert result.findings[0].rule == "parse-error"
+
+    def test_duplicate_rule_ids_rejected(self):
+        class Dup(Rule):
+            id = "float-eq"
+
+        with pytest.raises(ValueError, match="duplicate"):
+            LintEngine([*default_rules(), Dup()])
+
+
+class TestBaseline:
+    def test_roundtrip_and_filtering(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        finding = Finding(
+            rule="float-eq", path="pkg/a.py", line=3, message="m"
+        )
+        write_baseline(path, [finding])
+        prints = load_baseline(path)
+        assert finding.fingerprint in prints
+        other = Finding(rule="float-eq", path="pkg/a.py", line=4, message="m")
+        assert other.fingerprint not in prints
+
+    def test_sorted_stable_output(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = [
+            Finding(rule="r", path="z.py", line=9, message="m"),
+            Finding(rule="r", path="a.py", line=1, message="m"),
+        ]
+        write_baseline(path, findings)
+        first = path.read_text()
+        write_baseline(path, list(reversed(findings)))
+        assert path.read_text() == first
+        paths = [e["path"] for e in json.loads(first)["findings"]]
+        assert paths == sorted(paths)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == frozenset()
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(path)
+
+
+class TestReporters:
+    def _result(self, tmp_path):
+        pkg = write_pkg(tmp_path, {"a.py": "x = rate == 0.0\n"})
+        return LintEngine(default_rules()).run(pkg)
+
+    def test_text_summary(self, tmp_path):
+        result = self._result(tmp_path)
+        text = render_text(result, result.findings, 0, 0)
+        assert "pkg/a.py:1: [float-eq]" in text
+        assert "1 new finding(s)" in text
+
+    def test_json_payload(self, tmp_path):
+        result = self._result(tmp_path)
+        payload = json.loads(render_json(result, result.findings, 2, 1))
+        assert payload["new_count"] == 1
+        assert payload["baselined"] == 2
+        assert payload["stale_baseline"] == 1
+        assert payload["findings"][0]["rule"] == "float-eq"
+        assert payload["findings"][0]["fingerprint"] == "pkg/a.py:1:float-eq"

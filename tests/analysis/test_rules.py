@@ -1,0 +1,379 @@
+"""Per-rule fixture tests: each rule fires on a violation snippet and
+stays quiet when the snippet is fixed or pragma-suppressed."""
+
+import ast
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import ModuleInfo
+from repro.analysis.pragmas import parse_pragmas
+from repro.analysis.rules import (
+    FloatEqRule,
+    ImportCycleRule,
+    MutableDefaultRule,
+    SeededRngRule,
+    SetIterationRule,
+    SilentExceptRule,
+    UnitSuffixRule,
+    WallClockRule,
+)
+
+
+def make_module(source, module="repro.pdn.snippet", rel=None):
+    source = textwrap.dedent(source)
+    rel = rel or module.replace(".", "/") + ".py"
+    return ModuleInfo(
+        path=Path("/nonexistent") / rel,
+        rel=rel,
+        module=module,
+        source=source,
+        tree=ast.parse(source),
+        pragmas=parse_pragmas(source),
+    )
+
+
+def run_rule(rule, source, **kwargs):
+    """Rule findings after pragma suppression, like the engine applies."""
+    mod = make_module(source, **kwargs)
+    return [
+        f
+        for f in rule.check_module(mod)
+        if not mod.pragmas.suppresses(f.rule, f.line)
+    ]
+
+
+class TestSeededRng:
+    def test_stdlib_global_call_fires(self):
+        findings = run_rule(
+            SeededRngRule(),
+            """
+            import random
+            x = random.random()
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "seeded-rng"
+        assert findings[0].line == 3
+
+    def test_numpy_global_call_fires(self):
+        findings = run_rule(
+            SeededRngRule(),
+            """
+            import numpy as np
+            x = np.random.normal(0.0, 1.0)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_from_import_fires(self):
+        findings = run_rule(SeededRngRule(), "from random import choice\n")
+        assert len(findings) == 1
+
+    def test_default_rng_and_random_instance_ok(self):
+        findings = run_rule(
+            SeededRngRule(),
+            """
+            import random
+            import numpy as np
+            rng = np.random.default_rng(7)
+            r = random.Random(7)
+            gen = np.random.Generator(np.random.PCG64(7))
+            """,
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        findings = run_rule(
+            SeededRngRule(),
+            """
+            import random
+            x = random.random()  # parmlint: ok[seeded-rng]
+            """,
+        )
+        assert findings == []
+
+
+class TestWallClock:
+    def test_time_time_fires(self):
+        findings = run_rule(
+            WallClockRule(),
+            """
+            import time
+            t = time.time()
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "wall-clock"
+
+    def test_datetime_now_fires(self):
+        findings = run_rule(
+            WallClockRule(),
+            """
+            from datetime import datetime
+            stamp = datetime.now()
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_from_time_import_fires(self):
+        findings = run_rule(
+            WallClockRule(), "from time import perf_counter\n"
+        )
+        assert len(findings) == 1
+
+    def test_file_pragma_suppresses(self):
+        findings = run_rule(
+            WallClockRule(),
+            """
+            # parmlint: ok-file[wall-clock]
+            import time
+            a = time.perf_counter()
+            b = time.monotonic()
+            """,
+        )
+        assert findings == []
+
+
+class TestFloatEq:
+    def test_float_literal_comparison_fires(self):
+        findings = run_rule(FloatEqRule(), "flag = rate == 0.0\n")
+        assert len(findings) == 1
+        assert findings[0].rule == "float-eq"
+
+    def test_unit_suffix_operands_fire(self):
+        findings = run_rule(
+            FloatEqRule(), "changed = exec_time != app.exec_time_s\n"
+        )
+        assert len(findings) == 1
+
+    def test_int_comparison_ok(self):
+        findings = run_rule(FloatEqRule(), "done = count == 0\n")
+        assert findings == []
+
+    def test_ordered_comparison_ok(self):
+        findings = run_rule(FloatEqRule(), "idle = power_w <= 0.0\n")
+        assert findings == []
+
+    def test_comment_line_pragma_suppresses_next_line(self):
+        findings = run_rule(
+            FloatEqRule(),
+            """
+            # parmlint: ok[float-eq]
+            fresh = app.exec_time_s == 0.0
+            """,
+        )
+        assert findings == []
+
+
+class TestSilentExcept:
+    def test_bare_except_fires(self):
+        findings = run_rule(
+            SilentExceptRule(),
+            """
+            try:
+                step()
+            except:
+                recover()
+            """,
+        )
+        assert len(findings) == 1
+        assert "bare" in findings[0].message
+
+    def test_pass_only_handler_fires(self):
+        findings = run_rule(
+            SilentExceptRule(),
+            """
+            try:
+                step()
+            except ValueError:
+                pass
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_handled_exception_ok(self):
+        findings = run_rule(
+            SilentExceptRule(),
+            """
+            try:
+                step()
+            except ValueError as exc:
+                log(exc)
+            """,
+        )
+        assert findings == []
+
+
+class TestMutableDefault:
+    @pytest.mark.parametrize("default", ["[]", "{}", "set()", "dict()"])
+    def test_mutable_default_fires(self, default):
+        findings = run_rule(
+            MutableDefaultRule(), f"def f(xs={default}):\n    return xs\n"
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "mutable-default"
+
+    def test_none_default_ok(self):
+        findings = run_rule(
+            MutableDefaultRule(),
+            """
+            def f(xs=None, scale=1.0, name="x"):
+                return xs or []
+            """,
+        )
+        assert findings == []
+
+    def test_kwonly_default_fires(self):
+        findings = run_rule(
+            MutableDefaultRule(), "def f(*, xs=[]):\n    return xs\n"
+        )
+        assert len(findings) == 1
+
+
+class TestUnitSuffix:
+    SNIPPET = """
+    from dataclasses import dataclass
+
+    @dataclass
+    class Sample:
+        exec_time{suffix}: float
+    """
+
+    def test_missing_suffix_fires(self):
+        findings = run_rule(
+            UnitSuffixRule(),
+            self.SNIPPET.format(suffix=""),
+            module="repro.pdn.snippet",
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "unit-suffix"
+
+    def test_unit_suffix_ok(self):
+        findings = run_rule(
+            UnitSuffixRule(),
+            self.SNIPPET.format(suffix="_s"),
+            module="repro.pdn.snippet",
+        )
+        assert findings == []
+
+    def test_registered_exemption_ok(self):
+        source = """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Node:
+            vdd: float
+            alpha: float
+        """
+        findings = run_rule(
+            UnitSuffixRule(), source, module="repro.chip.snippet"
+        )
+        assert findings == []
+
+    def test_out_of_scope_package_ignored(self):
+        findings = run_rule(
+            UnitSuffixRule(),
+            self.SNIPPET.format(suffix=""),
+            module="repro.exp.snippet",
+        )
+        assert findings == []
+
+    def test_int_fields_treated_as_counts(self):
+        source = """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Stats:
+            packets: int
+        """
+        findings = run_rule(
+            UnitSuffixRule(), source, module="repro.noc.snippet"
+        )
+        assert findings == []
+
+
+class TestImportCycle:
+    def test_cycle_detected(self):
+        mod_a = make_module(
+            "from repro.pdn import b\n", module="repro.pdn.a"
+        )
+        mod_b = make_module(
+            "import repro.pdn.a\n", module="repro.pdn.b"
+        )
+        findings = list(ImportCycleRule().check_project([mod_a, mod_b]))
+        assert len(findings) == 1
+        assert "repro.pdn.a" in findings[0].message
+        assert "repro.pdn.b" in findings[0].message
+
+    def test_acyclic_ok(self):
+        mod_a = make_module(
+            "from repro.pdn import b\n", module="repro.pdn.a"
+        )
+        mod_b = make_module("import math\n", module="repro.pdn.b")
+        findings = list(ImportCycleRule().check_project([mod_a, mod_b]))
+        assert findings == []
+
+    def test_relative_import_cycle_detected(self):
+        mod_a = make_module(
+            "from . import b\n", module="repro.pdn.a"
+        )
+        mod_b = make_module(
+            "from .a import thing\n", module="repro.pdn.b"
+        )
+        findings = list(ImportCycleRule().check_project([mod_a, mod_b]))
+        assert len(findings) == 1
+
+
+class TestSetIteration:
+    def test_set_literal_loop_fires(self):
+        findings = run_rule(
+            SetIterationRule(),
+            """
+            for d in {f(t) for t in tiles}:
+                free(d)
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "nondet-set-iter"
+
+    def test_annotated_param_loop_fires(self):
+        findings = run_rule(
+            SetIterationRule(),
+            """
+            from typing import Set
+
+            def drain(dead: Set[int]) -> None:
+                for d in dead:
+                    free(d)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_sorted_wrap_ok(self):
+        findings = run_rule(
+            SetIterationRule(),
+            """
+            for d in sorted({f(t) for t in tiles}):
+                free(d)
+            """,
+        )
+        assert findings == []
+
+    def test_list_materialisation_fires(self):
+        findings = run_rule(
+            SetIterationRule(), "order = list(set(tiles))\n"
+        )
+        assert len(findings) == 1
+
+    def test_membership_test_ok(self):
+        findings = run_rule(
+            SetIterationRule(),
+            """
+            dead = {1, 2}
+            if tile in dead:
+                skip()
+            """,
+        )
+        assert findings == []
