@@ -8,6 +8,9 @@ Usage::
     python -m repro --output report.md    # write to a file
     python -m repro lint                  # parmlint static analysis
     python -m repro lint --format json    # CI gate (see docs/lint.md)
+    python -m repro campaign --checkpoint cp.json [--resume|--status]
+                                          # supervised campaign
+                                          # (see docs/robustness.md)
 """
 
 from __future__ import annotations
@@ -28,6 +31,10 @@ def main(argv=None) -> int:
         from repro.analysis.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "campaign":
+        from repro.harness.cli import main as campaign_main
+
+        return campaign_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the PARM (DAC 2018) evaluation figures.",

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import List, Type
 
 from repro.analysis.engine import Rule
+from repro.analysis.rules.broad_except import BroadExceptRule
 from repro.analysis.rules.float_eq import FloatEqRule
 from repro.analysis.rules.import_cycle import ImportCycleRule
 from repro.analysis.rules.mutable_default import MutableDefaultRule
@@ -27,6 +28,7 @@ ALL_RULES: List[Type[Rule]] = [
     WallClockRule,
     FloatEqRule,
     SilentExceptRule,
+    BroadExceptRule,
     MutableDefaultRule,
     UnitSuffixRule,
     ImportCycleRule,
@@ -41,6 +43,7 @@ def default_rules() -> List[Rule]:
 
 __all__ = [
     "ALL_RULES",
+    "BroadExceptRule",
     "FloatEqRule",
     "ImportCycleRule",
     "MutableDefaultRule",

@@ -1,0 +1,93 @@
+"""Rule ``broad-except``: ``except Exception`` must feed the taxonomy.
+
+PR 3 introduced a structured exception taxonomy
+(:class:`repro.harness.errors.ReproError` and subclasses) so that every
+failure in a campaign is classified, checkpointable provenance.  A
+``except Exception:`` handler that logs-and-continues (or converts the
+error into a return value) silently re-opens the hole: unclassified
+failures flow onward with no taxonomy record.
+
+A broad handler (``except Exception`` or ``except BaseException``,
+alone or inside a tuple) is compliant only when its body raises one of
+the taxonomy types - typically ``raise ReproError(...) from exc`` - so
+the evidence is preserved in classified form.  A bare ``raise``
+deliberately does *not* count: it re-raises the unclassified original,
+which is exactly what the taxonomy boundary exists to prevent.  Sites
+where deferred re-raising is the design (e.g. shipping an exception
+across a watchdog thread boundary) carry
+``# parmlint: ok[broad-except]`` next to a comment explaining why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.engine import ModuleInfo, Rule
+from repro.analysis.findings import Finding
+from repro.analysis.rules._util import attr_chain
+
+#: Exception names treated as "broad": they catch everything.
+BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+#: The repro error taxonomy (re-raising any of these is compliant).
+TAXONOMY_ERRORS = frozenset(
+    {
+        "ReproError",
+        "ConfigError",
+        "SolverError",
+        "SimTimeout",
+        "CheckpointCorrupt",
+    }
+)
+
+
+def _terminal_name(node: ast.AST) -> str:
+    """Last identifier of a name/attribute chain ('' when unresolvable)."""
+    chain = attr_chain(node)
+    return chain[-1] if chain else ""
+
+
+def _caught_names(handler: ast.ExceptHandler) -> List[str]:
+    """Exception-type names a handler catches (tuples flattened)."""
+    if handler.type is None:
+        return []
+    if isinstance(handler.type, ast.Tuple):
+        return [_terminal_name(el) for el in handler.type.elts]
+    return [_terminal_name(handler.type)]
+
+
+def _raises_taxonomy(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body raises a taxonomy error."""
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            target = node.exc.func if isinstance(node.exc, ast.Call) else node.exc
+            if _terminal_name(target) in TAXONOMY_ERRORS:
+                return True
+    return False
+
+
+class BroadExceptRule(Rule):
+    id = "broad-except"
+    description = (
+        "`except Exception` must re-raise a ReproError-taxonomy error "
+        "(repro.harness.errors) or carry a pragma"
+    )
+
+    def check_module(self, mod: ModuleInfo) -> Iterable[Finding]:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = [n for n in _caught_names(node) if n in BROAD_NAMES]
+            if not broad or _raises_taxonomy(node):
+                continue
+            yield self.finding(
+                mod,
+                node,
+                f"`except {broad[0]}` swallows the classification of "
+                "failures; re-raise a ReproError subclass "
+                "(repro.harness.errors) or annotate with "
+                "`# parmlint: ok[broad-except]`",
+            )

@@ -30,6 +30,7 @@ from repro.apps.workload import WorkloadType, generate_workload
 from repro.chip.cmp import ChipDescription, default_chip
 from repro.exp.frameworks import framework as fw_lookup
 from repro.faults import DEFAULT_FAULT_RATES, FaultCampaign, FaultRates
+from repro.harness.errors import ConfigError
 from repro.runtime.metrics import RunMetrics
 from repro.runtime.simulator import RuntimeSimulator
 
@@ -102,7 +103,30 @@ def fault_sweep(
     Returns:
         One row per (framework, intensity), frameworks grouped together
         in the order given.
+
+    Raises:
+        ConfigError: on empty seed/intensity lists, out-of-range
+            intensities, or non-positive ``n_apps`` /
+            ``arrival_interval_s``.
     """
+    seeds = tuple(seeds)
+    intensities = tuple(intensities)
+    if not seeds:
+        raise ConfigError("seeds must not be empty")
+    if not intensities:
+        raise ConfigError("intensities must not be empty")
+    out_of_range = [i for i in intensities if not 0.0 <= i <= 1.0]
+    if out_of_range:
+        raise ConfigError(
+            "intensities must lie in [0, 1]", intensities=tuple(out_of_range)
+        )
+    if n_apps <= 0:
+        raise ConfigError("n_apps must be positive", n_apps=n_apps)
+    if not np.isfinite(arrival_interval_s) or arrival_interval_s <= 0:
+        raise ConfigError(
+            "arrival_interval_s must be positive and finite",
+            arrival_interval_s=arrival_interval_s,
+        )
     chip = chip or default_chip()
     library = library or ProfileLibrary()
     frameworks = [fw_lookup(name) for name in framework_names]

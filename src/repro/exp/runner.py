@@ -16,6 +16,7 @@ from repro.apps.suite import ProfileLibrary
 from repro.apps.workload import WorkloadType, generate_workload
 from repro.chip.cmp import ChipDescription, default_chip
 from repro.exp.frameworks import Framework
+from repro.harness.errors import ConfigError
 from repro.runtime.metrics import RunMetrics
 from repro.runtime.simulator import RuntimeSimulator
 
@@ -67,7 +68,24 @@ def run_framework(
             ``None`` uses the generator default; Fig. 6/7 pass a loose
             value so that every application completes under every
             framework and makespans stay comparable.
+
+    Raises:
+        ConfigError: on an empty seed list or non-positive/non-finite
+            ``n_apps`` / ``arrival_interval_s`` - instead of silently
+            looping zero times or dividing by zero downstream.
     """
+    seeds = tuple(seeds)
+    where = {"framework": fw.name, "workload": workload_type.value}
+    if not seeds:
+        raise ConfigError("seeds must not be empty", **where)
+    if n_apps <= 0:
+        raise ConfigError("n_apps must be positive", n_apps=n_apps, **where)
+    if not np.isfinite(arrival_interval_s) or arrival_interval_s <= 0:
+        raise ConfigError(
+            "arrival_interval_s must be positive and finite",
+            arrival_interval_s=arrival_interval_s,
+            **where,
+        )
     chip = chip or default_chip()
     library = library or ProfileLibrary()
     runs: List[RunMetrics] = []

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class RecoveryPolicy:
@@ -59,3 +61,24 @@ class RecoveryPolicy:
         if retry_index < 0:
             raise ValueError("retry_index must be non-negative")
         return self.backoff_initial_s * self.backoff_factor ** retry_index
+
+    def jittered_backoff_s(
+        self,
+        retry_index: int,
+        rng: np.random.Generator,
+        jitter_fraction: float = 0.1,
+    ) -> float:
+        """Backoff delay with seeded multiplicative jitter.
+
+        The base :meth:`backoff_s` delay is scaled by a factor drawn
+        uniformly from ``[1 - jitter_fraction, 1 + jitter_fraction]``,
+        desynchronising retry storms across concurrently failing units.
+        The jitter comes from the caller's explicit ``rng`` - never the
+        wall clock or process-global RNG state - so a replay with the
+        same seed reproduces the same schedule bit for bit (the campaign
+        supervisor seeds the generator from the cell's content hash).
+        """
+        if not 0.0 <= jitter_fraction < 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1)")
+        scale = 1.0 + jitter_fraction * (2.0 * float(rng.random()) - 1.0)
+        return self.backoff_s(retry_index) * scale

@@ -1,0 +1,33 @@
+"""Supervised experiment campaigns: error taxonomy and crash-safe runs.
+
+* :mod:`repro.harness.errors`     - the structured exception taxonomy
+  (:class:`ReproError` and its subclasses) used across the stack in
+  place of ad-hoc ``ValueError``/``LinAlgError`` propagation;
+* :mod:`repro.harness.supervisor` - :class:`CampaignSupervisor`, which
+  runs experiment cells as resumable units with content-hashed keys,
+  versioned JSON checkpoints, per-cell deadline watchdogs and bounded
+  seeded-backoff retries;
+* :mod:`repro.harness.cli`        - the ``python -m repro campaign``
+  entry point (run / resume / status).
+
+Only the error taxonomy is re-exported here: :mod:`repro.runtime` and
+:mod:`repro.pdn` import it, so this package ``__init__`` must stay free
+of imports from those layers (the supervisor imports the experiment
+runner; import it explicitly from :mod:`repro.harness.supervisor`).
+"""
+
+from repro.harness.errors import (
+    CheckpointCorrupt,
+    ConfigError,
+    ReproError,
+    SimTimeout,
+    SolverError,
+)
+
+__all__ = [
+    "CheckpointCorrupt",
+    "ConfigError",
+    "ReproError",
+    "SimTimeout",
+    "SolverError",
+]

@@ -1,0 +1,223 @@
+"""``python -m repro campaign`` - supervised campaign entry point.
+
+Usage::
+
+    python -m repro campaign --checkpoint cp.json               # run
+    python -m repro campaign --checkpoint cp.json --resume      # resume
+    python -m repro campaign --checkpoint cp.json --status      # inspect
+    python -m repro campaign --checkpoint cp.json \\
+        --frameworks HM+XY PARM+PANR --workloads compute mixed \\
+        --intervals 0.2 0.1 --seeds 1 2 --n-apps 12 \\
+        --deadline-s 600 --retries 2 \\
+        --json-out table.json --output campaign.md
+
+Exit codes: ``0`` - campaign ran to completion (failed cells, if any,
+are listed in the report); ``2`` - configuration or checkpoint error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.faults.recovery import RecoveryPolicy
+from repro.harness.errors import CheckpointCorrupt, ConfigError
+from repro.harness.supervisor import (
+    CampaignCell,
+    CampaignOutcome,
+    CampaignSupervisor,
+    SupervisorPolicy,
+)
+
+#: Default campaign grid: the headline comparison pair over the mixed
+#: workload at the Fig. 8 arrival intervals.
+DEFAULT_FRAMEWORKS = ("HM+XY", "PARM+PANR")
+DEFAULT_WORKLOADS = ("mixed",)
+DEFAULT_INTERVALS = (0.2, 0.1)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign",
+        description=(
+            "Run a supervised, crash-safe experiment campaign "
+            "(see docs/robustness.md)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint",
+        required=True,
+        metavar="PATH",
+        help="campaign checkpoint file (written after every cell)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore completed cells from the checkpoint instead of "
+        "re-executing them",
+    )
+    parser.add_argument(
+        "--status",
+        action="store_true",
+        help="print checkpoint progress and exit without running",
+    )
+    parser.add_argument(
+        "--frameworks",
+        nargs="+",
+        default=list(DEFAULT_FRAMEWORKS),
+        metavar="NAME",
+        help="framework names (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        default=list(DEFAULT_WORKLOADS),
+        metavar="TYPE",
+        help="workload types (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--intervals",
+        nargs="+",
+        type=float,
+        default=list(DEFAULT_INTERVALS),
+        metavar="SECONDS",
+        help="arrival intervals in seconds (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seeds",
+        nargs="+",
+        type=int,
+        default=[1, 2, 3],
+        metavar="SEED",
+        help="workload seeds per cell (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--n-apps",
+        type=int,
+        default=12,
+        metavar="N",
+        help="applications per sequence (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell watchdog deadline (default: none)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retry budget per cell beyond the first attempt "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--json-out",
+        metavar="PATH",
+        help="write the final result table as canonical JSON",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the campaign report as markdown",
+    )
+    return parser
+
+
+def build_cells(args: argparse.Namespace) -> List[CampaignCell]:
+    """The campaign grid: frameworks x workloads x intervals."""
+    return [
+        CampaignCell(
+            framework=fw,
+            workload=wl,
+            arrival_interval_s=interval,
+            n_apps=args.n_apps,
+            seeds=tuple(args.seeds),
+        )
+        for fw in args.frameworks
+        for wl in args.workloads
+        for interval in args.intervals
+    ]
+
+
+def _print_status(supervisor: CampaignSupervisor) -> None:
+    status = supervisor.status()
+    print(f"checkpoint: {status['checkpoint']}")
+    if not status["exists"]:
+        print("no checkpoint on disk; every cell is pending")
+    print(
+        f"cells: {status['cells']}  completed: {status['completed']}  "
+        f"failed: {status['failed']}  pending: {status['pending']}"
+    )
+
+
+def _print_summary(outcome: CampaignOutcome) -> None:
+    executed = len(outcome.outcomes) - outcome.restored_count
+    print(
+        f"campaign finished: {len(outcome.outcomes)} cell(s), "
+        f"{len(outcome.completed_cells)} completed, "
+        f"{len(outcome.failed_cells)} failed "
+        f"({outcome.restored_count} restored from checkpoint, "
+        f"{executed} executed)"
+    )
+    for cell_outcome in outcome.failed_cells:
+        last = cell_outcome.attempts[-1] if cell_outcome.attempts else None
+        detail = (
+            f"{last.error_type}: {last.error_message}" if last else "unknown"
+        )
+        print(f"  failed cell {cell_outcome.cell.label}: {detail}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        supervisor = CampaignSupervisor(
+            build_cells(args),
+            args.checkpoint,
+            policy=SupervisorPolicy(
+                recovery=RecoveryPolicy(max_remap_retries=args.retries),
+                deadline_s=args.deadline_s,
+            ),
+        )
+    except (ConfigError, ValueError) as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.status:
+        try:
+            _print_status(supervisor)
+        except CheckpointCorrupt as exc:
+            print(f"checkpoint error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    try:
+        outcome = supervisor.run(resume=args.resume)
+    except ConfigError as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return 2
+    except CheckpointCorrupt as exc:
+        print(f"checkpoint error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            handle.write(outcome.table_json())
+        print(f"wrote {args.json_out}")
+    if args.output:
+        from repro.exp.report import campaign_markdown
+
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(campaign_markdown(outcome))
+        print(f"wrote {args.output}")
+    _print_summary(outcome)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""The structured exception taxonomy of the reproduction stack.
+
+Long multi-seed campaigns die ugly deaths when a near-singular MNA
+matrix surfaces as a raw ``LinAlgError`` three layers up, or a hung
+transient solve blocks a sweep forever.  Every failure mode the stack
+can produce is therefore classified under one root:
+
+* :class:`ReproError`       - base class; carries a message plus a
+  sorted ``context`` mapping (framework, workload, seed, node, step...)
+  so a failure record is machine-readable provenance, not prose;
+* :class:`ConfigError`      - invalid experiment inputs (empty seed
+  list, non-positive ``n_apps``...), raised before any work starts;
+* :class:`SolverError`      - a numerical failure inside a PDN solve:
+  singular or ill-conditioned MNA system, NaN/inf currents or node
+  voltages, divergence; context names the offending node and step;
+* :class:`SimTimeout`       - a supervised cell exceeded its deadline
+  watchdog;
+* :class:`CheckpointCorrupt` - a campaign checkpoint failed its schema,
+  version, or content-digest validation on load.
+
+The parmlint ``broad-except`` rule (see ``docs/lint.md``) enforces that
+``except Exception`` handlers in this repository re-raise one of these
+types, so the taxonomy stays load-bearing rather than decorative.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+def jsonable_context(context: Dict[str, Any]) -> Dict[str, Any]:
+    """Coerce a context mapping into JSON-serialisable values.
+
+    Ints, floats, bools, strings and ``None`` pass through; everything
+    else (enum members, tuples, numpy scalars...) is ``repr()``-ed so a
+    failure record can always be checkpointed.
+    """
+    out: Dict[str, Any] = {}
+    for key in sorted(context):
+        value = context[key]
+        if isinstance(value, bool) or value is None:
+            out[key] = value
+        elif isinstance(value, (int, float, str)):
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out
+
+
+class ReproError(Exception):
+    """Base class of every classified failure in the stack.
+
+    Args:
+        message: Human-readable description (no context baked in).
+        **context: Structured provenance - framework, workload, seed,
+            node, step, path... - kept sorted by key so renderings and
+            serialisations are deterministic.
+    """
+
+    def __init__(self, message: str, **context: Any) -> None:
+        super().__init__(message)
+        self.message = message
+        self.context: Dict[str, Any] = {
+            key: context[key] for key in sorted(context)
+        }
+
+    def __str__(self) -> str:
+        if not self.context:
+            return self.message
+        detail = ", ".join(
+            f"{key}={value!r}" for key, value in self.context.items()
+        )
+        return f"{self.message} [{detail}]"
+
+    def to_json(self) -> Dict[str, Any]:
+        """Serialisable failure record (used in checkpoints/reports)."""
+        return {
+            "type": type(self).__name__,
+            "message": self.message,
+            "context": jsonable_context(self.context),
+        }
+
+
+class ConfigError(ReproError):
+    """Invalid experiment configuration, detected before any work runs."""
+
+
+class SolverError(ReproError):
+    """A numerical failure inside a PDN solve.
+
+    Context conventionally carries ``node`` (offending circuit node, or
+    ``branch[k]`` for an MNA branch unknown), ``step`` (timestep index),
+    ``method`` and ``dt_s`` so the failure is actionable without a
+    debugger.
+    """
+
+
+class SimTimeout(ReproError):
+    """A supervised cell exceeded its wall-clock deadline watchdog."""
+
+
+class CheckpointCorrupt(ReproError):
+    """A checkpoint payload failed schema/version/digest validation."""

@@ -31,8 +31,39 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.harness.errors import SolverError
+
 #: The ground node name.  Node "0" is accepted as an alias.
 GROUND = "gnd"
+
+#: Condition-number estimates above this mark the MNA system as
+#: numerically untrustworthy (double precision keeps ~15-16 digits, so
+#: 1e13 leaves ~3 digits of headroom in the solution).
+DEFAULT_MAX_CONDITION = 1e13
+
+#: Node-voltage magnitudes above this mark a diverging (ringing /
+#: non-convergent) integration.  PDN rails sit around 1 V, so the
+#: default is generous enough for any sane linear circuit while still
+#: catching blow-ups long before they overflow to inf.
+DEFAULT_MAX_ABS_V = 1e6
+
+
+def _condition_estimate(matrix: sp.csc_matrix, lu) -> float:
+    """Cheap 1-norm condition estimate of a factorised sparse matrix.
+
+    Uses Higham's ``onenormest`` on the inverse operator (a handful of
+    extra triangular solves) against the explicit 1-norm of the matrix;
+    tiny systems fall back to a dense exact computation because the
+    estimator needs more columns than they have.
+    """
+    size = matrix.shape[0]
+    if size <= 4:
+        return float(np.linalg.cond(matrix.toarray(), 1))
+    inv_op = spla.LinearOperator(
+        (size, size), matvec=lu.solve, rmatvec=lambda b: lu.solve(b, "T")
+    )
+    inv_norm = spla.onenormest(inv_op)
+    return float(spla.norm(matrix, 1) * inv_norm)
 
 
 def _stamp_dense(a: np.ndarray, i: Optional[int], j: Optional[int], y) -> None:
@@ -205,16 +236,33 @@ class Circuit:
         duration: float,
         dt: float,
         method: str = "trapezoidal",
+        max_condition: float = DEFAULT_MAX_CONDITION,
+        max_abs_v: float = DEFAULT_MAX_ABS_V,
     ) -> TransientResult:
         """Run a fixed-step transient analysis from the DC operating point.
+
+        The solve is numerically guarded: a singular or ill-conditioned
+        MNA system, a NaN/inf source current, and a non-finite or
+        diverging node voltage all raise
+        :class:`~repro.harness.errors.SolverError` carrying the
+        offending node and step, instead of propagating a raw
+        ``LinAlgError`` or silently returning garbage.
 
         Args:
             duration: Total simulated time in seconds.
             dt: Timestep in seconds.
             method: ``"trapezoidal"`` (default) or ``"backward-euler"``.
+            max_condition: Reject factorisations whose 1-norm condition
+                estimate exceeds this (``inf`` disables the check).
+            max_abs_v: Node-voltage magnitude treated as divergence
+                (``inf`` disables the check).
 
         Returns:
             A :class:`TransientResult` with all node voltages.
+
+        Raises:
+            SolverError: on a singular/ill-conditioned system, non-finite
+                source currents, or non-finite/diverging node voltages.
         """
         if duration <= 0 or dt <= 0:
             raise ValueError("duration and dt must be positive")
@@ -278,7 +326,25 @@ class Circuit:
         matrix = sp.csc_matrix(
             (vals, (rows, cols)), shape=(size, size), dtype=float
         )
-        lu = spla.splu(matrix)
+        try:
+            lu = spla.splu(matrix)
+        except RuntimeError as exc:
+            raise SolverError(
+                "singular MNA system matrix - check for floating nodes, "
+                "voltage-source loops, or degenerate element values",
+                method=method,
+                dt_s=dt,
+                size=size,
+            ) from exc
+        cond = _condition_estimate(matrix, lu)
+        if not np.isfinite(cond) or cond > max_condition:
+            raise SolverError(
+                "ill-conditioned MNA system matrix",
+                condition_estimate=float(cond),
+                max_condition=max_condition,
+                method=method,
+                dt_s=dt,
+            )
 
         # --- precompute source currents over the whole window ----------
         i_wave = np.empty((len(self._isources), n_steps + 1))
@@ -287,6 +353,16 @@ class Circuit:
                 i_wave[k] = np.asarray(s.waveform(times), dtype=float)
             else:
                 i_wave[k] = float(s.waveform)
+        bad_wave = ~np.isfinite(i_wave)
+        if bad_wave.any():
+            k, step = (int(v) for v in np.argwhere(bad_wave)[0])
+            raise SolverError(
+                "non-finite source current waveform",
+                node=self._isources[k].frm,
+                step=step,
+                time_s=float(times[step]),
+                method=method,
+            )
 
         # --- initial condition: DC operating point at t=0 --------------
         x = self._dc_state(i_wave[:, 0], n, n_l, n_v)
@@ -339,6 +415,7 @@ class Circuit:
             rhs[n + n_l:] = vsrc_vals
 
             x = lu.solve(rhs)
+            self._check_state(x, n, step, float(times[step]), method, max_abs_v)
             out[step] = x[:n]
 
             new_cap_v = node_v(x, cap_a) - node_v(x, cap_b)
@@ -417,13 +494,61 @@ class Circuit:
                 # AC small-signal: DC sources are shorts (RHS row = 0).
             rhs = np.zeros(size, dtype=complex)
             rhs[probe] = 1.0  # 1 A injected into the probed node
-            x = np.linalg.solve(a, rhs)
+            try:
+                x = np.linalg.solve(a, rhs)
+            except np.linalg.LinAlgError as exc:
+                raise SolverError(
+                    "singular AC system matrix",
+                    node=node,
+                    frequency_hz=float(f),
+                    stage="ac",
+                ) from exc
             out[i] = abs(x[probe])
         return out
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _unknown_name(self, idx: int, n: int) -> str:
+        """Human-readable name of MNA unknown ``idx`` (node or branch)."""
+        if idx < n:
+            return list(self._nodes)[idx]
+        return f"branch[{idx - n}]"
+
+    def _check_state(
+        self,
+        x: np.ndarray,
+        n: int,
+        step: int,
+        time_s: float,
+        method: str,
+        max_abs_v: float,
+    ) -> None:
+        """Guard one solved state vector; name the offending unknown."""
+        finite = np.isfinite(x)
+        if not finite.all():
+            idx = int(np.argmin(finite))
+            raise SolverError(
+                "non-finite solution in transient solve",
+                node=self._unknown_name(idx, n),
+                step=step,
+                time_s=time_s,
+                method=method,
+            )
+        volts = np.abs(x[:n])
+        if n and float(np.max(volts)) > max_abs_v:
+            idx = int(np.argmax(volts))
+            raise SolverError(
+                "node voltage diverged (ringing or non-convergent "
+                "integration)",
+                node=self._unknown_name(idx, n),
+                voltage_v=float(x[idx]),
+                max_abs_v=max_abs_v,
+                step=step,
+                time_s=time_s,
+                method=method,
+            )
 
     def _solve_dc(self, at_time: float) -> np.ndarray:
         i_now = np.array(
@@ -482,9 +607,20 @@ class Circuit:
 
         matrix = sp.csc_matrix((vals, (rows, cols)), shape=(size, size))
         try:
-            return spla.splu(matrix).solve(rhs)
+            x = spla.splu(matrix).solve(rhs)
         except RuntimeError as exc:
-            raise ValueError(
+            raise SolverError(
                 "singular DC network - check for floating nodes or "
-                "current sources into open circuits"
+                "current sources into open circuits",
+                stage="dc",
+                size=size,
             ) from exc
+        finite = np.isfinite(x)
+        if not finite.all():
+            idx = int(np.argmin(finite))
+            raise SolverError(
+                "non-finite DC operating point",
+                node=self._unknown_name(idx, n),
+                stage="dc",
+            )
+        return x

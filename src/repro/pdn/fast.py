@@ -37,6 +37,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.harness.errors import SolverError
 from repro.pdn.waveforms import ActivityBin, TileLoad
 
 #: Manhattan distance between tile positions of a 2x2 domain
@@ -97,6 +98,10 @@ class PsnKernel:
         Returns:
             Array of shape (4,): PSN as percent of Vdd per tile position.
         """
+        if not np.isfinite(vdd):
+            raise SolverError(
+                "non-finite supply voltage in PSN kernel", vdd=vdd
+            )
         if vdd <= 0:
             raise ValueError("vdd must be positive")
         if len(loads) != 4:
@@ -111,6 +116,19 @@ class PsnKernel:
             i_router[k] = load.router_power_w / vdd
             bins[k] = load.activity_bin
 
+        # Mirror the transient solver's NaN/inf guards (SolverError with
+        # the offending tile) so the fast and circuit paths fail alike.
+        bad = ~(np.isfinite(i_core) & np.isfinite(i_router))
+        if bad.any():
+            k = int(np.argmax(bad))
+            raise SolverError(
+                "non-finite tile current in PSN kernel",
+                tile=k,
+                core_current_a=float(i_core[k]),
+                router_current_a=float(i_router[k]),
+                vdd=float(vdd),
+            )
+
         psn = np.zeros(4)
         for i in range(4):
             acc = self.z_own[bins[i]] * i_core[i] + self.z_own_router * i_router[i]
@@ -121,6 +139,13 @@ class PsnKernel:
                 acc += k * self.z_cross[(bins[i], bins[j])] * i_core[j]
                 acc += k * self.z_cross_router * i_router[j]
             psn[i] = 100.0 * acc / vdd
+        finite = np.isfinite(psn)
+        if not finite.all():
+            raise SolverError(
+                "non-finite PSN from kernel evaluation",
+                tile=int(np.argmin(finite)),
+                vdd=float(vdd),
+            )
         return psn
 
 

@@ -12,13 +12,19 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from repro.chip.technology import TechnologyNode
+from repro.harness.errors import SolverError
 from repro.pdn.builder import TILE_NODES, DomainPdnBuilder
+from repro.pdn.circuit import Circuit, TransientResult
 from repro.pdn.waveforms import ActivityBin, CurrentWaveform, TileLoad
+
+#: Adaptive-timestep floor of :func:`guarded_transient`: the timestep is
+#: halved on failure down to this fraction of the requested ``dt``.
+MIN_DT_SCALE = 0.125
 
 #: Phase jitter between same-bin threads of one application, seconds.
 #: Same-bin threads run barrier-synchronised code, so their current bursts
@@ -77,6 +83,72 @@ def apply_phase_convention(
     return out
 
 
+def guarded_transient(
+    circuit: Circuit,
+    duration_s: float,
+    dt_s: float,
+    min_dt_scale: float = MIN_DT_SCALE,
+) -> Tuple[TransientResult, str, float]:
+    """Transient solve with automatic integration-method fallback.
+
+    The escalation ladder on a :class:`SolverError` (ringing,
+    divergence, an ill-conditioned factorisation...):
+
+    1. trapezoidal at the requested ``dt_s`` (the accurate default for
+       the lightly damped RLC tanks of a PDN);
+    2. backward Euler at ``dt_s`` - L-stable, so spurious trapezoidal
+       ringing of stiff modes is damped out;
+    3. backward Euler with the timestep halved repeatedly, down to a
+       floor of ``dt_s * min_dt_scale``.
+
+    Args:
+        circuit: The netlist to solve.
+        duration_s: Analysis window in seconds.
+        dt_s: Requested timestep in seconds.
+        min_dt_scale: Adaptive-halving floor as a fraction of ``dt_s``.
+
+    Returns:
+        ``(result, method, dt_s)`` - the first successful solve plus the
+        method and timestep that produced it.
+
+    Raises:
+        SolverError: when every rung of the ladder fails; the error
+            lists each attempt and keeps the last failure's node/step
+            context.
+    """
+    if not 0.0 < min_dt_scale <= 1.0:
+        raise ValueError("min_dt_scale must be in (0, 1]")
+    plan: List[Tuple[str, float]] = [
+        ("trapezoidal", dt_s),
+        ("backward-euler", dt_s),
+    ]
+    half_dt = dt_s / 2.0
+    floor_dt = dt_s * min_dt_scale
+    while half_dt >= floor_dt:
+        plan.append(("backward-euler", half_dt))
+        half_dt /= 2.0
+
+    attempts: List[str] = []
+    last: SolverError = SolverError("no attempt ran")
+    for method, dt_k in plan:
+        try:
+            return circuit.transient(duration_s, dt_k, method=method), method, dt_k
+        except SolverError as exc:
+            attempts.append(f"{method}@{dt_k:.3e}s: {exc.message}")
+            last = exc
+    context = {
+        key: last.context[key]
+        for key in ("node", "step", "time_s")
+        if key in last.context
+    }
+    raise SolverError(
+        "transient analysis failed after method fallback and timestep "
+        "halving",
+        attempts=tuple(attempts),
+        **context,
+    ) from last
+
+
 @dataclass(frozen=True)
 class DomainPsnReport:
     """Per-tile PSN extracted from one domain transient analysis.
@@ -85,11 +157,17 @@ class DomainPsnReport:
         vdd: Domain supply voltage in volts.
         peak_psn_pct: Peak PSN per tile, percent of Vdd, shape (4,).
         avg_psn_pct: Time-average PSN per tile, percent of Vdd, shape (4,).
+        solver_method: Integration method that produced the result
+            (``"trapezoidal"`` unless the guarded solve fell back).
+        solver_dt_s: Timestep that produced the result (the requested
+            ``dt_s`` unless adaptive halving kicked in).
     """
 
     vdd: float
     peak_psn_pct: np.ndarray
     avg_psn_pct: np.ndarray
+    solver_method: str = "trapezoidal"
+    solver_dt_s: float = 0.0
 
     @property
     def domain_peak_pct(self) -> float:
@@ -155,7 +233,9 @@ class PsnTransientAnalysis:
             )
         currents = [CurrentWaveform(load, vdd) for load in loads]
         circuit = self._builder.build(vdd, currents)
-        result = circuit.transient(self._window_s, self._dt_s)
+        result, method, dt_s = guarded_transient(
+            circuit, self._window_s, self._dt_s
+        )
 
         peaks = np.empty(len(TILE_NODES))
         avgs = np.empty(len(TILE_NODES))
@@ -167,7 +247,13 @@ class PsnTransientAnalysis:
             psn_pct = np.clip(psn_pct, 0.0, None)
             peaks[i] = float(np.max(psn_pct))
             avgs[i] = float(np.mean(psn_pct))
-        return DomainPsnReport(vdd=vdd, peak_psn_pct=peaks, avg_psn_pct=avgs)
+        return DomainPsnReport(
+            vdd=vdd,
+            peak_psn_pct=peaks,
+            avg_psn_pct=avgs,
+            solver_method=method,
+            solver_dt_s=dt_s,
+        )
 
     def pair_analysis(
         self,

@@ -1,16 +1,37 @@
-"""Checkpoint/rollback fault-handling cost model (paper Sections 4.5, 5.1).
+"""Checkpointing: the in-model cost model and on-disk campaign payloads.
 
-Applications are checkpointed periodically so that a voltage emergency
-(VE) can be corrected by rolling back to the last checkpoint.  The paper
-assumes a 1 ms checkpoint period with ~256 cycles of checkpointing
-overhead, and ~10000 cycles to restore state after an error.  A rollback
-additionally re-executes the work done since the last checkpoint - half
-a period in expectation.
+Two related concerns live here:
+
+* :class:`CheckpointPolicy` - the paper's checkpoint/rollback *cost
+  model* (Sections 4.5, 5.1).  Applications are checkpointed
+  periodically so that a voltage emergency (VE) can be corrected by
+  rolling back to the last checkpoint.  The paper assumes a 1 ms
+  checkpoint period with ~256 cycles of checkpointing overhead, and
+  ~10000 cycles to restore state after an error.  A rollback
+  additionally re-executes the work done since the last checkpoint -
+  half a period in expectation.
+
+* :func:`save_payload` / :func:`load_payload` - versioned, checksummed
+  JSON envelopes for *our own* crash-safe state (campaign progress in
+  :mod:`repro.harness.supervisor`).  Every payload is wrapped in an
+  envelope carrying a schema name, an integer schema version, and a
+  SHA-256 digest of the canonical payload encoding; loading a file that
+  is unreadable, truncated, tampered with, or written by a different
+  schema/version raises
+  :class:`~repro.harness.errors.CheckpointCorrupt` instead of returning
+  garbage.  Writes are atomic (temp file + ``os.replace``) so a SIGKILL
+  mid-write never leaves a half-written checkpoint behind.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 from dataclasses import dataclass
+from typing import Any
+
+from repro.harness.errors import CheckpointCorrupt
 
 
 @dataclass(frozen=True)
@@ -52,3 +73,96 @@ class CheckpointPolicy:
         if frequency_hz <= 0:
             raise ValueError("frequency must be positive")
         return self.rollback_cycles / frequency_hz + 0.5 * self.period_s
+
+
+# ----------------------------------------------------------------------
+# Versioned on-disk payloads
+# ----------------------------------------------------------------------
+
+#: Keys every checkpoint envelope must carry.
+_ENVELOPE_KEYS = ("digest", "payload", "schema", "version")
+
+
+def payload_digest(payload: Any) -> str:
+    """SHA-256 over the canonical JSON encoding of ``payload``.
+
+    Canonical means sorted keys and minimal separators, so the digest is
+    independent of formatting and insertion order.
+    """
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def dump_payload(payload: Any, schema: str, version: int) -> str:
+    """Serialise ``payload`` into its versioned, checksummed envelope."""
+    envelope = {
+        "digest": payload_digest(payload),
+        "payload": payload,
+        "schema": schema,
+        "version": int(version),
+    }
+    return json.dumps(envelope, sort_keys=True, indent=2) + "\n"
+
+
+def save_payload(path: str, payload: Any, schema: str, version: int) -> None:
+    """Atomically write a versioned, checksummed payload to ``path``.
+
+    The envelope is written to ``<path>.tmp`` first and moved into place
+    with ``os.replace``, so readers only ever see a complete file.
+    """
+    text = dump_payload(payload, schema, version)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def load_payload(path: str, schema: str, version: int) -> Any:
+    """Load and validate a payload written by :func:`save_payload`.
+
+    Raises:
+        CheckpointCorrupt: when the file is missing or unreadable, is
+            not a JSON envelope, was written by a different schema or
+            version, or its content digest does not match the payload.
+    """
+
+    def corrupt(reason: str, **context: Any) -> CheckpointCorrupt:
+        return CheckpointCorrupt(
+            f"checkpoint rejected: {reason}", path=path, **context
+        )
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise corrupt("file unreadable", error=str(exc)) from exc
+    try:
+        envelope = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise corrupt("not valid JSON", error=str(exc)) from exc
+    if not isinstance(envelope, dict):
+        raise corrupt("envelope is not an object")
+    missing = [key for key in _ENVELOPE_KEYS if key not in envelope]
+    if missing:
+        raise corrupt("envelope keys missing", missing=tuple(missing))
+    if envelope["schema"] != schema:
+        raise corrupt(
+            "schema mismatch", expected=schema, found=envelope["schema"]
+        )
+    if envelope["version"] != int(version):
+        raise corrupt(
+            "version mismatch", expected=int(version),
+            found=envelope["version"],
+        )
+    payload = envelope["payload"]
+    digest = payload_digest(payload)
+    if digest != envelope["digest"]:
+        raise corrupt(
+            "content digest mismatch", expected=envelope["digest"],
+            computed=digest,
+        )
+    return payload

@@ -10,6 +10,7 @@ import pytest
 from repro.analysis.engine import ModuleInfo
 from repro.analysis.pragmas import parse_pragmas
 from repro.analysis.rules import (
+    BroadExceptRule,
     FloatEqRule,
     ImportCycleRule,
     MutableDefaultRule,
@@ -201,6 +202,114 @@ class TestSilentExcept:
                 step()
             except ValueError as exc:
                 log(exc)
+            """,
+        )
+        assert findings == []
+
+
+class TestBroadExcept:
+    def test_swallowed_exception_fires(self):
+        findings = run_rule(
+            BroadExceptRule(),
+            """
+            try:
+                step()
+            except Exception as exc:
+                log(exc)
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "broad-except"
+
+    def test_base_exception_fires(self):
+        findings = run_rule(
+            BroadExceptRule(),
+            """
+            try:
+                step()
+            except BaseException as exc:
+                box["error"] = exc
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_tuple_with_exception_fires(self):
+        findings = run_rule(
+            BroadExceptRule(),
+            """
+            try:
+                step()
+            except (ValueError, Exception) as exc:
+                log(exc)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_bare_reraise_still_fires(self):
+        # A bare `raise` re-raises the *unclassified* original; the rule
+        # requires conversion into the taxonomy.
+        findings = run_rule(
+            BroadExceptRule(),
+            """
+            try:
+                step()
+            except Exception:
+                cleanup()
+                raise
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_taxonomy_reraise_ok(self):
+        findings = run_rule(
+            BroadExceptRule(),
+            """
+            from repro.harness.errors import ReproError
+
+            try:
+                step()
+            except Exception as exc:
+                raise ReproError("unclassified", error=str(exc)) from exc
+            """,
+        )
+        assert findings == []
+
+    def test_nested_taxonomy_reraise_ok(self):
+        findings = run_rule(
+            BroadExceptRule(),
+            """
+            from repro.harness.errors import ConfigError, SolverError
+
+            try:
+                step()
+            except Exception as exc:
+                if isinstance(exc, KeyError):
+                    raise ConfigError("bad key") from exc
+                raise SolverError("solver blew up") from exc
+            """,
+        )
+        assert findings == []
+
+    def test_narrow_except_ignored(self):
+        findings = run_rule(
+            BroadExceptRule(),
+            """
+            try:
+                step()
+            except ValueError as exc:
+                log(exc)
+            """,
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        findings = run_rule(
+            BroadExceptRule(),
+            """
+            try:
+                step()
+            except Exception as exc:  # parmlint: ok[broad-except]
+                box["error"] = exc
             """,
         )
         assert findings == []

@@ -5,8 +5,10 @@ import pytest
 from repro.apps.suite import ProfileLibrary
 from repro.apps.workload import WorkloadType
 from repro.core import HarmonicManager, ParmManager
+from repro.exp.faults import fault_sweep
 from repro.exp.frameworks import FRAMEWORKS, Framework, framework
 from repro.exp.runner import run_framework
+from repro.harness.errors import ConfigError
 from repro.noc.routing import IconRouting, PanrRouting, XYRouting
 
 
@@ -74,3 +76,65 @@ class TestRunner:
         )
         assert result.completed == pytest.approx(4.0)
         assert result.dropped == 0.0
+
+
+class TestRunnerValidation:
+    """Invalid inputs fail fast with a classified ConfigError."""
+
+    def _run(self, **overrides):
+        kwargs = dict(
+            fw=framework("HM+XY"),
+            workload_type=WorkloadType.MIXED,
+            arrival_interval_s=0.2,
+            n_apps=4,
+            seeds=(1,),
+        )
+        kwargs.update(overrides)
+        return run_framework(**kwargs)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ConfigError, match="seeds") as excinfo:
+            self._run(seeds=())
+        assert excinfo.value.context["framework"] == "HM+XY"
+        assert excinfo.value.context["workload"] == "mixed"
+
+    def test_generator_seeds_accepted(self):
+        # tuple() coercion means one-shot iterables work too.
+        result = self._run(seeds=iter([1]), n_apps=2)
+        assert len(result.runs) == 1
+
+    @pytest.mark.parametrize("n_apps", [0, -3])
+    def test_nonpositive_n_apps_rejected(self, n_apps):
+        with pytest.raises(ConfigError, match="n_apps"):
+            self._run(n_apps=n_apps)
+
+    @pytest.mark.parametrize(
+        "interval", [0.0, -0.1, float("nan"), float("inf")]
+    )
+    def test_bad_arrival_interval_rejected(self, interval):
+        with pytest.raises(ConfigError, match="arrival_interval_s"):
+            self._run(arrival_interval_s=interval)
+
+    def test_config_error_is_repro_error(self):
+        from repro.harness.errors import ReproError
+
+        with pytest.raises(ReproError):
+            self._run(seeds=())
+
+
+class TestFaultSweepValidation:
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ConfigError, match="seeds"):
+            fault_sweep(seeds=())
+        with pytest.raises(ConfigError, match="intensities"):
+            fault_sweep(intensities=())
+
+    def test_out_of_range_intensity_rejected(self):
+        with pytest.raises(ConfigError, match=r"\[0, 1\]"):
+            fault_sweep(intensities=(0.5, 1.5))
+
+    def test_bad_sizing_rejected(self):
+        with pytest.raises(ConfigError, match="n_apps"):
+            fault_sweep(n_apps=0)
+        with pytest.raises(ConfigError, match="arrival_interval_s"):
+            fault_sweep(arrival_interval_s=float("nan"))

@@ -1,0 +1,175 @@
+"""Tests for ``python -m repro campaign``: CLI plumbing and the
+SIGKILL-mid-run / resume-from-checkpoint smoke path.
+
+The kill test is the PR's acceptance criterion in miniature: a campaign
+killed with SIGKILL between cells resumes from its checkpoint, re-executes
+nothing that already finished, reports zero failed cells, and emits a
+final result table byte-identical to an uninterrupted run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.harness.cli import build_cells, build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: A minimal real campaign: 2 cells, 1 seed, few apps - seconds, not
+#: minutes, but long enough per cell that a poll-then-kill lands mid-run.
+SMALL_CAMPAIGN = [
+    "--frameworks", "HM+XY",
+    "--workloads", "mixed",
+    "--intervals", "0.2", "0.1",
+    "--seeds", "1",
+    "--n-apps", "6",
+]
+
+
+def campaign_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return env
+
+
+def run_cli(args, **kwargs):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "campaign", *args],
+        cwd=REPO_ROOT,
+        env=campaign_env(),
+        capture_output=True,
+        text=True,
+        timeout=600,
+        **kwargs,
+    )
+
+
+def checkpointed_cells(path):
+    """Cell records currently in the checkpoint (empty when absent)."""
+    try:
+        with open(path) as handle:
+            return json.load(handle)["payload"]["cells"]
+    except (OSError, ValueError, KeyError):
+        return {}
+
+
+class TestParser:
+    def test_grid_is_cartesian_product(self):
+        args = build_parser().parse_args(
+            ["--checkpoint", "cp.json", *SMALL_CAMPAIGN]
+        )
+        cells = build_cells(args)
+        assert len(cells) == 2
+        assert {c.arrival_interval_s for c in cells} == {0.2, 0.1}
+        assert all(c.n_apps == 6 and c.seeds == (1,) for c in cells)
+
+    def test_checkpoint_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMainInProcess:
+    def test_bad_framework_exits_2(self, tmp_path, capsys):
+        code = main(
+            [
+                "--checkpoint", str(tmp_path / "cp.json"),
+                "--frameworks", "NOPE+XY",
+            ]
+        )
+        assert code == 2
+        assert "configuration error" in capsys.readouterr().err
+
+    def test_status_without_checkpoint(self, tmp_path, capsys):
+        code = main(
+            ["--checkpoint", str(tmp_path / "cp.json"), "--status"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pending" in out and "no checkpoint on disk" in out
+
+    def test_tiny_campaign_runs_and_writes_outputs(self, tmp_path, capsys):
+        cp = tmp_path / "cp.json"
+        table = tmp_path / "table.json"
+        report = tmp_path / "report.md"
+        code = main(
+            [
+                "--checkpoint", str(cp),
+                "--frameworks", "HM+XY",
+                "--workloads", "mixed",
+                "--intervals", "0.2",
+                "--seeds", "1",
+                "--n-apps", "2",
+                "--json-out", str(table),
+                "--output", str(report),
+            ]
+        )
+        assert code == 0
+        assert "1 completed, 0 failed" in capsys.readouterr().out
+        data = json.loads(table.read_text())
+        assert len(data["results"]) == 1
+        assert data["failed_cells"] == []
+        assert report.read_text().startswith("# PARM campaign report")
+        # The checkpoint now reports the cell as completed.
+        code = main(["--checkpoint", str(cp), "--status"])
+        assert code == 0
+
+
+class TestSigkillResume:
+    def test_kill_mid_run_then_resume_byte_identical(self, tmp_path):
+        cp = str(tmp_path / "cp.json")
+        ref_cp = str(tmp_path / "ref.json")
+        out = str(tmp_path / "resumed.json")
+        ref_out = str(tmp_path / "reference.json")
+
+        # Uninterrupted reference run.
+        ref = run_cli(
+            ["--checkpoint", ref_cp, "--json-out", ref_out, *SMALL_CAMPAIGN]
+        )
+        assert ref.returncode == 0, ref.stderr
+
+        # Launch the same campaign and SIGKILL it once the checkpoint
+        # records the first completed cell (the second is then mid-run).
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "campaign",
+                "--checkpoint", cp, *SMALL_CAMPAIGN,
+            ],
+            cwd=REPO_ROOT,
+            env=campaign_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            while proc.poll() is None and len(checkpointed_cells(cp)) < 1:
+                time.sleep(0.02)
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        survived = checkpointed_cells(cp)
+        assert 1 <= len(survived) <= 2
+        restored = len(survived)
+
+        # Resume: checkpointed cells must be restored, not re-executed.
+        res = run_cli(
+            [
+                "--checkpoint", cp, "--resume", "--json-out", out,
+                *SMALL_CAMPAIGN,
+            ]
+        )
+        assert res.returncode == 0, res.stderr
+        assert "2 completed, 0 failed" in res.stdout
+        assert f"({restored} restored from checkpoint" in res.stdout
+
+        resumed_bytes = Path(out).read_bytes()
+        reference_bytes = Path(ref_out).read_bytes()
+        assert resumed_bytes == reference_bytes

@@ -1,0 +1,361 @@
+"""Tests for the campaign supervisor: retries, watchdog, crash-safe resume."""
+
+import json
+import threading
+
+import pytest
+
+from repro.faults.recovery import RecoveryPolicy
+from repro.harness.errors import (
+    CheckpointCorrupt,
+    ConfigError,
+    ReproError,
+    SimTimeout,
+    SolverError,
+)
+from repro.harness.supervisor import (
+    CAMPAIGN_SCHEMA,
+    CAMPAIGN_VERSION,
+    CampaignCell,
+    CampaignSupervisor,
+    SupervisorPolicy,
+)
+
+
+def cell(framework="HM+XY", workload="mixed", interval=0.2, seeds=(1,)):
+    return CampaignCell(
+        framework=framework,
+        workload=workload,
+        arrival_interval_s=interval,
+        n_apps=4,
+        seeds=seeds,
+    )
+
+
+def fake_result(c):
+    """A deterministic stand-in for a run_framework result row."""
+    return {
+        "cell": c.spec(),
+        "key": c.key,
+        "framework": c.framework,
+        "workload": c.workload,
+        "arrival_interval_s": c.arrival_interval_s,
+        "total_time_s": 1.0 + c.arrival_interval_s,
+    }
+
+
+class CountingRunner:
+    """Cell runner that counts invocations and fails on request."""
+
+    def __init__(self, fail=None):
+        #: cell key -> list of exceptions to raise, consumed in order.
+        self.fail = dict(fail or {})
+        self.calls = []
+
+    def __call__(self, c):
+        self.calls.append(c.key)
+        pending = self.fail.get(c.key)
+        if pending:
+            raise pending.pop(0)
+        return fake_result(c)
+
+
+@pytest.fixture
+def cp(tmp_path):
+    return str(tmp_path / "campaign.json")
+
+
+class TestCampaignCell:
+    def test_key_is_content_hashed(self):
+        a, b = cell(), cell()
+        assert a.key == b.key
+        assert len(a.key) == 16
+        assert cell(interval=0.1).key != a.key
+
+    def test_spec_round_trips(self):
+        c = cell(seeds=(1, 2))
+        assert CampaignCell.from_spec(c.spec()) == c
+
+    def test_label(self):
+        assert cell().label == "HM+XY/mixed@0.2s"
+
+    def test_validate_rejects_bad_specs(self):
+        with pytest.raises(ConfigError, match="unknown framework"):
+            cell(framework="NOPE+XY").validate()
+        with pytest.raises(ConfigError, match="unknown workload"):
+            cell(workload="imaginary").validate()
+        with pytest.raises(ConfigError, match="at least one seed"):
+            cell(seeds=()).validate()
+        with pytest.raises(ConfigError, match="n_apps"):
+            CampaignCell("HM+XY", "mixed", 0.2, n_apps=0).validate()
+        with pytest.raises(ConfigError, match="arrival_interval_s"):
+            cell(interval=float("nan")).validate()
+
+
+class TestPolicy:
+    def test_max_attempts(self):
+        policy = SupervisorPolicy(recovery=RecoveryPolicy(max_remap_retries=2))
+        assert policy.max_attempts == 3
+
+    def test_backoff_schedule_deterministic_per_cell(self):
+        policy = SupervisorPolicy(recovery=RecoveryPolicy(max_remap_retries=3))
+        key = cell().key
+        assert policy.backoff_schedule_s(key) == policy.backoff_schedule_s(key)
+        other = policy.backoff_schedule_s(cell(interval=0.1).key)
+        assert policy.backoff_schedule_s(key) != other
+
+    def test_backoff_schedule_tracks_recovery_curve(self):
+        recovery = RecoveryPolicy(
+            max_remap_retries=3, backoff_initial_s=0.1, backoff_factor=2.0
+        )
+        policy = SupervisorPolicy(recovery=recovery, jitter_fraction=0.1)
+        schedule = policy.backoff_schedule_s(cell().key)
+        assert len(schedule) == 3
+        for i, delay in enumerate(schedule):
+            base = recovery.backoff_s(i)
+            assert 0.9 * base <= delay <= 1.1 * base
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            SupervisorPolicy(deadline_s=0.0)
+        with pytest.raises(ValueError):
+            SupervisorPolicy(jitter_fraction=1.0)
+
+
+class TestSupervisorConstruction:
+    def test_empty_campaign_rejected(self, cp):
+        with pytest.raises(ConfigError, match="no cells"):
+            CampaignSupervisor([], cp)
+
+    def test_duplicate_cells_rejected(self, cp):
+        with pytest.raises(ConfigError, match="duplicate"):
+            CampaignSupervisor([cell(), cell()], cp)
+
+    def test_invalid_cell_rejected_before_any_run(self, cp):
+        runner = CountingRunner()
+        sup = CampaignSupervisor(
+            [cell(), cell(framework="NOPE+XY", interval=0.1)],
+            cp,
+            cell_runner=runner,
+        )
+        with pytest.raises(ConfigError, match="unknown framework"):
+            sup.run()
+        assert runner.calls == []
+
+
+class TestRunAndResume:
+    def test_all_cells_complete(self, cp):
+        cells = [cell(interval=0.2), cell(interval=0.1)]
+        runner = CountingRunner()
+        outcome = CampaignSupervisor(cells, cp, cell_runner=runner).run()
+        assert len(outcome.completed_cells) == 2
+        assert outcome.failed_cells == ()
+        assert runner.calls == [c.key for c in cells]
+
+    def test_resume_restores_without_rerunning(self, cp):
+        cells = [cell(interval=0.2), cell(interval=0.1)]
+        first = CountingRunner()
+        baseline = CampaignSupervisor(cells, cp, cell_runner=first).run()
+
+        second = CountingRunner()
+        resumed = CampaignSupervisor(cells, cp, cell_runner=second).run(
+            resume=True
+        )
+        assert second.calls == []
+        assert resumed.restored_count == 2
+        assert resumed.table_json() == baseline.table_json()
+
+    def test_partial_checkpoint_resumes_byte_identical(self, cp, tmp_path):
+        """The acceptance criterion: interrupted + resumed == uninterrupted."""
+        cells = [cell(interval=0.2), cell(interval=0.1)]
+        # Uninterrupted reference campaign.
+        reference = CampaignSupervisor(
+            cells, str(tmp_path / "ref.json"), cell_runner=CountingRunner()
+        ).run()
+        # "Interrupted" campaign: only the first cell ran before the kill.
+        CampaignSupervisor(cells[:1], cp, cell_runner=CountingRunner()).run()
+
+        runner = CountingRunner()
+        resumed = CampaignSupervisor(cells, cp, cell_runner=runner).run(
+            resume=True
+        )
+        assert runner.calls == [cells[1].key]
+        assert resumed.restored_count == 1
+        assert resumed.table_json() == reference.table_json()
+
+    def test_fresh_run_overwrites_checkpoint(self, cp):
+        cells = [cell()]
+        CampaignSupervisor(cells, cp, cell_runner=CountingRunner()).run()
+        runner = CountingRunner()
+        CampaignSupervisor(cells, cp, cell_runner=runner).run(resume=False)
+        assert runner.calls == [cells[0].key]
+
+    def test_resume_with_missing_checkpoint_starts_fresh(self, cp):
+        runner = CountingRunner()
+        outcome = CampaignSupervisor(
+            [cell()], cp, cell_runner=runner
+        ).run(resume=True)
+        assert runner.calls == [cell().key]
+        assert len(outcome.completed_cells) == 1
+
+    def test_resume_from_corrupt_checkpoint_raises(self, cp):
+        CampaignSupervisor([cell()], cp, cell_runner=CountingRunner()).run()
+        with open(cp) as handle:
+            envelope = json.load(handle)
+        envelope["payload"]["cells"] = {"tampered": {"status": "completed"}}
+        with open(cp, "w") as handle:
+            json.dump(envelope, handle)
+        with pytest.raises(CheckpointCorrupt):
+            CampaignSupervisor(
+                [cell()], cp, cell_runner=CountingRunner()
+            ).run(resume=True)
+
+    def test_status_reflects_checkpoint(self, cp):
+        cells = [cell(interval=0.2), cell(interval=0.1)]
+        sup = CampaignSupervisor(
+            cells[:1], cp, cell_runner=CountingRunner()
+        )
+        before = sup.status()
+        assert before["exists"] is False
+        assert before["pending"] == 1
+        sup.run()
+        full = CampaignSupervisor(cells, cp, cell_runner=CountingRunner())
+        after = full.status()
+        assert after["completed"] == 1
+        assert after["pending"] == 1
+
+
+class TestRetriesAndFailure:
+    def _policy(self, retries=2, deadline_s=None):
+        return SupervisorPolicy(
+            recovery=RecoveryPolicy(
+                max_remap_retries=retries, backoff_initial_s=0.01
+            ),
+            deadline_s=deadline_s,
+        )
+
+    def test_flaky_cell_recovers_with_provenance(self, cp):
+        c = cell()
+        runner = CountingRunner(
+            fail={c.key: [SolverError("singular", node="t00", step=3)]}
+        )
+        outcome = CampaignSupervisor(
+            [c], cp, policy=self._policy(), cell_runner=runner
+        ).run()
+        assert len(outcome.completed_cells) == 1
+        attempt = outcome.outcomes[0].attempts[0]
+        assert attempt.error_type == "SolverError"
+        assert attempt.context["node"] == "t00"
+        assert runner.calls == [c.key, c.key]
+
+    def test_exhausted_retries_salvage_the_rest(self, cp):
+        bad, good = cell(interval=0.2), cell(interval=0.1)
+        runner = CountingRunner(
+            fail={bad.key: [SolverError("boom", step=i) for i in range(3)]}
+        )
+        outcome = CampaignSupervisor(
+            [bad, good], cp, policy=self._policy(retries=2), cell_runner=runner
+        ).run()
+        assert [o.cell.key for o in outcome.failed_cells] == [bad.key]
+        assert [o.cell.key for o in outcome.completed_cells] == [good.key]
+        failed = outcome.failed_cells[0]
+        assert len(failed.attempts) == 3
+        assert failed.attempts[-1].backoff_s == 0.0
+        table = outcome.table()
+        assert table["failed_cells"][0]["error_type"] == "SolverError"
+
+    def test_recorded_backoff_matches_schedule(self, cp):
+        c = cell()
+        policy = self._policy(retries=2)
+        runner = CountingRunner(
+            fail={c.key: [SolverError("boom")] * 3}
+        )
+        slept = []
+        outcome = CampaignSupervisor(
+            [c], cp, policy=policy, cell_runner=runner,
+            sleep_fn=slept.append,
+        ).run()
+        schedule = policy.backoff_schedule_s(c.key)
+        attempts = outcome.failed_cells[0].attempts
+        assert [a.backoff_s for a in attempts[:-1]] == schedule
+        assert slept == schedule  # not slept after the final attempt
+
+    def test_unclassified_error_is_wrapped(self, cp):
+        c = cell()
+        runner = CountingRunner(fail={c.key: [ValueError("raw")] * 10})
+        outcome = CampaignSupervisor(
+            [c], cp, policy=self._policy(retries=0), cell_runner=runner
+        ).run()
+        attempt = outcome.failed_cells[0].attempts[0]
+        assert attempt.error_type == "ReproError"
+        assert attempt.context["error_type"] == "ValueError"
+
+    def test_failed_cell_restored_as_failed_on_resume(self, cp):
+        c = cell()
+        runner = CountingRunner(fail={c.key: [SolverError("boom")] * 10})
+        CampaignSupervisor(
+            [c], cp, policy=self._policy(retries=0), cell_runner=runner
+        ).run()
+        second = CountingRunner()
+        resumed = CampaignSupervisor(
+            [c], cp, policy=self._policy(retries=0), cell_runner=second
+        ).run(resume=True)
+        assert second.calls == []
+        assert len(resumed.failed_cells) == 1
+        assert resumed.failed_cells[0].from_checkpoint
+
+    def test_watchdog_times_out_hung_cell(self, cp):
+        c = cell()
+        release = threading.Event()
+
+        def hang(_cell):
+            release.wait(30.0)
+            return fake_result(_cell)
+
+        outcome = CampaignSupervisor(
+            [c],
+            cp,
+            policy=self._policy(retries=0, deadline_s=0.05),
+            cell_runner=hang,
+        ).run()
+        release.set()
+        failed = outcome.failed_cells[0]
+        assert failed.attempts[0].error_type == "SimTimeout"
+        assert failed.attempts[0].context["deadline_s"] == 0.05
+
+    def test_watchdog_passes_fast_cells_through(self, cp):
+        outcome = CampaignSupervisor(
+            [cell()],
+            cp,
+            policy=self._policy(deadline_s=30.0),
+            cell_runner=CountingRunner(),
+        ).run()
+        assert len(outcome.completed_cells) == 1
+
+    def test_watchdog_propagates_worker_errors(self, cp):
+        c = cell()
+        runner = CountingRunner(fail={c.key: [SimTimeout("inner")] * 10})
+        outcome = CampaignSupervisor(
+            [c],
+            cp,
+            policy=self._policy(retries=0, deadline_s=30.0),
+            cell_runner=runner,
+        ).run()
+        assert outcome.failed_cells[0].attempts[0].error_message == "inner"
+
+
+class TestTable:
+    def test_table_schema_and_determinism(self, cp):
+        cells = [cell(interval=0.2), cell(interval=0.1)]
+        outcome = CampaignSupervisor(
+            cells, cp, cell_runner=CountingRunner()
+        ).run()
+        table = outcome.table()
+        assert table["schema"] == CAMPAIGN_SCHEMA
+        assert table["version"] == CAMPAIGN_VERSION
+        assert len(table["results"]) == 2
+        # Canonical serialisation round-trips and is byte-stable.
+        text = outcome.table_json()
+        assert text == json.dumps(
+            json.loads(text), sort_keys=True, indent=2
+        ) + "\n"

@@ -1,0 +1,110 @@
+"""Tests for the versioned, checksummed checkpoint payload envelope."""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.errors import CheckpointCorrupt
+from repro.runtime.checkpoint import (
+    dump_payload,
+    load_payload,
+    payload_digest,
+    save_payload,
+)
+
+SCHEMA = "test-schema"
+VERSION = 3
+
+
+@pytest.fixture
+def path(tmp_path):
+    return str(tmp_path / "cp.json")
+
+
+class TestDigest:
+    def test_insertion_order_independent(self):
+        assert payload_digest({"a": 1, "b": 2}) == payload_digest(
+            {"b": 2, "a": 1}
+        )
+
+    def test_content_sensitive(self):
+        assert payload_digest({"a": 1}) != payload_digest({"a": 2})
+
+
+class TestRoundTrip:
+    def test_save_load(self, path):
+        payload = {"cells": {"abc": {"status": "completed"}}, "n": 4}
+        save_payload(path, payload, schema=SCHEMA, version=VERSION)
+        assert load_payload(path, schema=SCHEMA, version=VERSION) == payload
+
+    def test_no_tmp_file_left_behind(self, path):
+        save_payload(path, {"x": 1}, schema=SCHEMA, version=VERSION)
+        assert not os.path.exists(path + ".tmp")
+
+    def test_envelope_carries_all_keys(self, path):
+        save_payload(path, {"x": 1}, schema=SCHEMA, version=VERSION)
+        with open(path) as handle:
+            envelope = json.load(handle)
+        assert set(envelope) == {"digest", "payload", "schema", "version"}
+        assert envelope["schema"] == SCHEMA
+        assert envelope["version"] == VERSION
+
+    def test_dump_is_deterministic(self):
+        a = dump_payload({"b": 2, "a": 1}, SCHEMA, VERSION)
+        b = dump_payload({"a": 1, "b": 2}, SCHEMA, VERSION)
+        assert a == b
+
+
+class TestCorruption:
+    def _expect_corrupt(self, path, match):
+        with pytest.raises(CheckpointCorrupt, match=match):
+            load_payload(path, schema=SCHEMA, version=VERSION)
+
+    def test_missing_file(self, path):
+        self._expect_corrupt(path, "unreadable")
+
+    def test_not_json(self, path):
+        with open(path, "w") as handle:
+            handle.write("not json {")
+        self._expect_corrupt(path, "not valid JSON")
+
+    def test_truncated_file(self, path):
+        save_payload(path, {"x": 1}, schema=SCHEMA, version=VERSION)
+        with open(path) as handle:
+            text = handle.read()
+        with open(path, "w") as handle:
+            handle.write(text[: len(text) // 2])
+        self._expect_corrupt(path, "not valid JSON")
+
+    def test_non_object_envelope(self, path):
+        with open(path, "w") as handle:
+            json.dump([1, 2, 3], handle)
+        self._expect_corrupt(path, "not an object")
+
+    def test_missing_envelope_keys(self, path):
+        with open(path, "w") as handle:
+            json.dump({"payload": {}, "schema": SCHEMA}, handle)
+        self._expect_corrupt(path, "keys missing")
+
+    def test_schema_mismatch(self, path):
+        save_payload(path, {"x": 1}, schema="other-schema", version=VERSION)
+        self._expect_corrupt(path, "schema mismatch")
+
+    def test_version_mismatch(self, path):
+        save_payload(path, {"x": 1}, schema=SCHEMA, version=VERSION + 1)
+        self._expect_corrupt(path, "version mismatch")
+
+    def test_tampered_payload_fails_digest(self, path):
+        save_payload(path, {"x": 1}, schema=SCHEMA, version=VERSION)
+        with open(path) as handle:
+            envelope = json.load(handle)
+        envelope["payload"]["x"] = 999
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        self._expect_corrupt(path, "digest mismatch")
+
+    def test_error_context_names_path(self, path):
+        with pytest.raises(CheckpointCorrupt) as excinfo:
+            load_payload(path, schema=SCHEMA, version=VERSION)
+        assert excinfo.value.context["path"] == path
