@@ -22,6 +22,7 @@ from repro.harness.errors import (
     ReproError,
     SimTimeout,
     SolverError,
+    SolverInputError,
 )
 
 __all__ = [
@@ -30,4 +31,5 @@ __all__ = [
     "ReproError",
     "SimTimeout",
     "SolverError",
+    "SolverInputError",
 ]

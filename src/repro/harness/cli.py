@@ -4,6 +4,8 @@ Usage::
 
     python -m repro campaign --checkpoint cp.json               # run
     python -m repro campaign --checkpoint cp.json --resume      # resume
+    python -m repro campaign --checkpoint cp.json --resume \\
+        --retry-failed                       # resume, re-run failures
     python -m repro campaign --checkpoint cp.json --status      # inspect
     python -m repro campaign --checkpoint cp.json \\
         --frameworks HM+XY PARM+PANR --workloads compute mixed \\
@@ -54,8 +56,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--resume",
         action="store_true",
-        help="restore completed cells from the checkpoint instead of "
-        "re-executing them",
+        help="restore checkpointed cells (completed AND failed) instead "
+        "of re-executing them; failed cells stay failed unless "
+        "--retry-failed is also given",
+    )
+    parser.add_argument(
+        "--retry-failed",
+        action="store_true",
+        help="with --resume, re-execute cells checkpointed as failed "
+        "(fresh retry budget) instead of restoring them as "
+        "permanently failed",
     )
     parser.add_argument(
         "--status",
@@ -175,6 +185,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if args.retry_failed and not args.resume:
+        print(
+            "configuration error: --retry-failed requires --resume",
+            file=sys.stderr,
+        )
+        return 2
+
     try:
         supervisor = CampaignSupervisor(
             build_cells(args),
@@ -197,7 +214,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     try:
-        outcome = supervisor.run(resume=args.resume)
+        outcome = supervisor.run(
+            resume=args.resume, retry_failed=args.retry_failed
+        )
     except ConfigError as exc:
         print(f"configuration error: {exc}", file=sys.stderr)
         return 2

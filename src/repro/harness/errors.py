@@ -13,6 +13,10 @@ can produce is therefore classified under one root:
 * :class:`SolverError`      - a numerical failure inside a PDN solve:
   singular or ill-conditioned MNA system, NaN/inf currents or node
   voltages, divergence; context names the offending node and step;
+* :class:`SolverInputError` - a :class:`SolverError` subclass for bad
+  *input data* (non-finite source waveform, supply voltage, tile
+  current); no integration-method or timestep change can fix these, so
+  retry ladders re-raise them immediately;
 * :class:`SimTimeout`       - a supervised cell exceeded its deadline
   watchdog;
 * :class:`CheckpointCorrupt` - a campaign checkpoint failed its schema,
@@ -25,21 +29,28 @@ types, so the taxonomy stays load-bearing rather than decorative.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict
 
 
 def jsonable_context(context: Dict[str, Any]) -> Dict[str, Any]:
     """Coerce a context mapping into JSON-serialisable values.
 
-    Ints, floats, bools, strings and ``None`` pass through; everything
-    else (enum members, tuples, numpy scalars...) is ``repr()``-ed so a
-    failure record can always be checkpointed.
+    Ints, finite floats, bools, strings and ``None`` pass through;
+    everything else (enum members, tuples, numpy scalars...) is
+    ``repr()``-ed so a failure record can always be checkpointed.
+    Non-finite floats become their repr (``'nan'``, ``'inf'``,
+    ``'-inf'``): checkpoints are digested with ``allow_nan=False``, and
+    the solver guards put NaN/inf into context by construction - the
+    one failure mode a failure record must survive.
     """
     out: Dict[str, Any] = {}
     for key in sorted(context):
         value = context[key]
         if isinstance(value, bool) or value is None:
             out[key] = value
+        elif isinstance(value, float) and not math.isfinite(value):
+            out[key] = repr(value)
         elif isinstance(value, (int, float, str)):
             out[key] = value
         else:
@@ -92,6 +103,16 @@ class SolverError(ReproError):
     ``branch[k]`` for an MNA branch unknown), ``step`` (timestep index),
     ``method`` and ``dt_s`` so the failure is actionable without a
     debugger.
+    """
+
+
+class SolverInputError(SolverError):
+    """A solver failure caused by bad input data, not numerics.
+
+    A non-finite source waveform, supply voltage or tile current cannot
+    be fixed by switching integration method or halving the timestep,
+    so :func:`repro.pdn.transient.guarded_transient` re-raises this
+    type immediately instead of walking its escalation ladder.
     """
 
 

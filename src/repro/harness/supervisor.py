@@ -18,7 +18,13 @@ resumable unit:
   ``run(resume=True)`` re-executes nothing that already finished;
 * **deadline watchdogs** - each cell runs on a daemon worker thread
   with a bounded ``join``; exceeding the deadline surfaces as
-  :class:`~repro.harness.errors.SimTimeout` instead of a hang;
+  :class:`~repro.harness.errors.SimTimeout` instead of a hang.  Python
+  threads cannot be killed, so a timed-out worker is *abandoned*: it
+  may keep consuming CPU until its solve finishes on its own.  To keep
+  abandoned work from racing live work on shared state, the default
+  cell runner (and its shared chip / profile-library cache) is
+  discarded and rebuilt fresh after every timeout; a custom
+  ``cell_runner`` is kept and must tolerate abandoned attempts;
 * **bounded retries with seeded backoff** - retry budget and backoff
   curve reuse :class:`~repro.faults.recovery.RecoveryPolicy` semantics;
   jitter is seeded from the cell's content hash
@@ -373,7 +379,11 @@ class CampaignSupervisor:
             cell; loaded by ``run(resume=True)`` and :meth:`status`).
         policy: Retry/backoff/watchdog limits.
         cell_runner: Override for tests and custom campaigns; defaults
-            to :func:`default_cell_runner` (built lazily on first run).
+            to :func:`default_cell_runner` (built lazily on first run,
+            and rebuilt after a cell timeout so abandoned workers never
+            share state with live attempts).  A custom runner is reused
+            across attempts even after a timeout - it must tolerate an
+            abandoned attempt still executing in the background.
         sleep_fn: Called with each recorded backoff delay before a
             retry.  ``None`` (default) records the schedule without
             sleeping, keeping replays instant and deterministic.
@@ -399,6 +409,9 @@ class CampaignSupervisor:
         self._policy = policy or SupervisorPolicy()
         self._cell_runner = cell_runner
         self._sleep_fn = sleep_fn
+        #: The runner currently in use; rebuilt after a timeout when it
+        #: is the (shared-state) default runner.
+        self._runner: Optional[CellRunner] = cell_runner
 
     @property
     def cells(self) -> Tuple[CampaignCell, ...]:
@@ -433,13 +446,19 @@ class CampaignSupervisor:
             summary["pending"] -= 1
         return summary
 
-    def run(self, resume: bool = False) -> CampaignOutcome:
+    def run(
+        self, resume: bool = False, retry_failed: bool = False
+    ) -> CampaignOutcome:
         """Execute (or resume) the campaign and return its outcome.
 
         With ``resume=True``, cells whose content-hash key is recorded
-        in the checkpoint are restored, not re-executed; a missing
-        checkpoint file simply starts fresh.  Without ``resume``, any
-        existing checkpoint is overwritten.
+        in the checkpoint are restored, not re-executed - *including*
+        cells recorded as failed, which stay failed.  Pass
+        ``retry_failed=True`` to re-execute checkpointed failures
+        instead (fresh retry budget; the checkpoint record is
+        overwritten with the new outcome).  A missing checkpoint file
+        simply starts fresh.  Without ``resume``, any existing
+        checkpoint is overwritten.
 
         Raises:
             ConfigError: when a cell spec is invalid (checked up front,
@@ -451,16 +470,15 @@ class CampaignSupervisor:
         state: Dict[str, Dict[str, Any]] = {}
         if resume and os.path.exists(self._checkpoint_path):
             state = self._load_state()
-        runner = self._cell_runner
         outcomes: List[CellOutcome] = []
         for cell in self._cells:
             record = state.get(cell.key)
-            if record is not None:
+            if record is not None and not (
+                retry_failed and record.get("status") == FAILED
+            ):
                 outcomes.append(self._restore(cell, record))
                 continue
-            if runner is None:
-                runner = default_cell_runner()
-            outcome = self._run_cell(cell, runner)
+            outcome = self._run_cell(cell)
             outcomes.append(outcome)
             state[cell.key] = self._record(outcome)
             self._save_state(state)
@@ -470,14 +488,16 @@ class CampaignSupervisor:
     # Cell execution: watchdog, taxonomy boundary, retries
     # ------------------------------------------------------------------
 
-    def _run_cell(self, cell: CampaignCell, runner: CellRunner) -> CellOutcome:
+    def _run_cell(self, cell: CampaignCell) -> CellOutcome:
         attempts: List[CellAttempt] = []
         schedule = self._policy.backoff_schedule_s(cell.key)
         for attempt in range(self._policy.max_attempts):
             try:
-                result = self._execute(cell, runner)
+                result = self._execute(cell)
                 return CellOutcome(cell, COMPLETED, result, tuple(attempts))
             except ReproError as exc:
+                if isinstance(exc, SimTimeout):
+                    self._discard_runner()
                 last = attempt == self._policy.max_attempts - 1
                 backoff_s = 0.0 if last else schedule[attempt]
                 attempts.append(
@@ -493,8 +513,26 @@ class CampaignSupervisor:
                     self._sleep_fn(backoff_s)
         return CellOutcome(cell, FAILED, None, tuple(attempts))
 
-    def _execute(self, cell: CampaignCell, runner: CellRunner) -> Dict[str, Any]:
+    def _current_runner(self) -> CellRunner:
+        if self._runner is None:
+            self._runner = self._cell_runner or default_cell_runner()
+        return self._runner
+
+    def _discard_runner(self) -> None:
+        """Drop the default runner after a timed-out attempt.
+
+        The abandoned daemon worker may still be executing against the
+        runner's shared state (the chip and ``ProfileLibrary`` cache of
+        :func:`default_cell_runner`), so later attempts get a freshly
+        built runner and never race it.  A user-supplied ``cell_runner``
+        cannot be rebuilt here and is kept (see the class docstring).
+        """
+        if self._cell_runner is None:
+            self._runner = None
+
+    def _execute(self, cell: CampaignCell) -> Dict[str, Any]:
         """Run one attempt, bounded by the deadline watchdog."""
+        runner = self._current_runner()
         if self._policy.deadline_s is None:
             return self._guard(cell, runner)
         box: Dict[str, Any] = {}
@@ -514,8 +552,10 @@ class CampaignSupervisor:
         worker.start()
         worker.join(self._policy.deadline_s)
         if worker.is_alive():
-            # The worker is abandoned (daemon thread); the cell is
-            # charged a timeout and the campaign moves on.
+            # The worker cannot be killed; it is abandoned (daemon
+            # thread, may keep consuming CPU until its solve returns),
+            # the cell is charged a timeout, and _run_cell discards the
+            # shared default runner so no live attempt races it.
             raise SimTimeout(
                 "cell exceeded its deadline watchdog",
                 cell=cell.label,

@@ -31,7 +31,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-from repro.harness.errors import SolverError
+from repro.harness.errors import SolverError, SolverInputError
 
 #: The ground node name.  Node "0" is accepted as an alias.
 GROUND = "gnd"
@@ -356,7 +356,9 @@ class Circuit:
         bad_wave = ~np.isfinite(i_wave)
         if bad_wave.any():
             k, step = (int(v) for v in np.argwhere(bad_wave)[0])
-            raise SolverError(
+            # Input data, not numerics: no method/timestep change can
+            # fix a poisoned waveform, so fallback ladders re-raise.
+            raise SolverInputError(
                 "non-finite source current waveform",
                 node=self._isources[k].frm,
                 step=step,

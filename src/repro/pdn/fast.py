@@ -37,7 +37,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.harness.errors import SolverError
+from repro.harness.errors import SolverError, SolverInputError
 from repro.pdn.waveforms import ActivityBin, TileLoad
 
 #: Manhattan distance between tile positions of a 2x2 domain
@@ -99,8 +99,8 @@ class PsnKernel:
             Array of shape (4,): PSN as percent of Vdd per tile position.
         """
         if not np.isfinite(vdd):
-            raise SolverError(
-                "non-finite supply voltage in PSN kernel", vdd=vdd
+            raise SolverInputError(
+                "non-finite supply voltage in PSN kernel", vdd=float(vdd)
             )
         if vdd <= 0:
             raise ValueError("vdd must be positive")
@@ -121,7 +121,7 @@ class PsnKernel:
         bad = ~(np.isfinite(i_core) & np.isfinite(i_router))
         if bad.any():
             k = int(np.argmax(bad))
-            raise SolverError(
+            raise SolverInputError(
                 "non-finite tile current in PSN kernel",
                 tile=k,
                 core_current_a=float(i_core[k]),

@@ -17,7 +17,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.chip.technology import TechnologyNode
-from repro.harness.errors import SolverError
+from repro.harness.errors import SolverError, SolverInputError
 from repro.pdn.builder import TILE_NODES, DomainPdnBuilder
 from repro.pdn.circuit import Circuit, TransientResult
 from repro.pdn.waveforms import ActivityBin, CurrentWaveform, TileLoad
@@ -101,6 +101,11 @@ def guarded_transient(
     3. backward Euler with the timestep halved repeatedly, down to a
        floor of ``dt_s * min_dt_scale``.
 
+    Input-data failures (:class:`SolverInputError` - a non-finite
+    source waveform or supply voltage) short-circuit the ladder: no
+    method or timestep change can fix them, so they re-raise from the
+    first rung instead of wasting four more full solves.
+
     Args:
         circuit: The netlist to solve.
         duration_s: Analysis window in seconds.
@@ -112,6 +117,8 @@ def guarded_transient(
         method and timestep that produced it.
 
     Raises:
+        SolverInputError: immediately, on a failure no fallback can fix
+            (bad input data); the first rung's error propagates as-is.
         SolverError: when every rung of the ladder fails; the error
             lists each attempt and keeps the last failure's node/step
             context.
@@ -133,6 +140,8 @@ def guarded_transient(
     for method, dt_k in plan:
         try:
             return circuit.transient(duration_s, dt_k, method=method), method, dt_k
+        except SolverInputError:
+            raise
         except SolverError as exc:
             attempts.append(f"{method}@{dt_k:.3e}s: {exc.message}")
             last = exc

@@ -85,6 +85,13 @@ class TestMainInProcess:
         assert code == 2
         assert "configuration error" in capsys.readouterr().err
 
+    def test_retry_failed_requires_resume(self, tmp_path, capsys):
+        code = main(
+            ["--checkpoint", str(tmp_path / "cp.json"), "--retry-failed"]
+        )
+        assert code == 2
+        assert "--retry-failed requires --resume" in capsys.readouterr().err
+
     def test_status_without_checkpoint(self, tmp_path, capsys):
         code = main(
             ["--checkpoint", str(tmp_path / "cp.json"), "--status"]

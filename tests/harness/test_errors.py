@@ -10,6 +10,7 @@ from repro.harness.errors import (
     ReproError,
     SimTimeout,
     SolverError,
+    SolverInputError,
     jsonable_context,
 )
 
@@ -19,6 +20,13 @@ class TestTaxonomy:
         for cls in (ConfigError, SolverError, SimTimeout, CheckpointCorrupt):
             assert issubclass(cls, ReproError)
             assert issubclass(cls, Exception)
+
+    def test_input_error_is_a_solver_error(self):
+        # Handlers that catch SolverError keep catching input errors;
+        # only the fallback ladder distinguishes the two.
+        assert issubclass(SolverInputError, SolverError)
+        with pytest.raises(SolverError):
+            raise SolverInputError("poisoned waveform", node="t00")
 
     def test_message_without_context(self):
         err = ReproError("it broke")
@@ -59,3 +67,32 @@ class TestJsonableContext:
     def test_keys_sorted(self):
         ctx = jsonable_context({"z": 1, "a": 2})
         assert list(ctx) == ["a", "z"]
+
+    def test_non_finite_floats_become_repr(self):
+        # The solver guards put NaN/inf into context by construction
+        # (non-finite currents, vdd, condition estimates); checkpoints
+        # are digested with allow_nan=False, so raw NaN/inf here would
+        # crash _save_state and lose the salvage table.
+        ctx = jsonable_context(
+            {
+                "core_current_a": float("nan"),
+                "vdd": float("inf"),
+                "headroom": float("-inf"),
+                "fine": 1.5,
+            }
+        )
+        assert ctx["core_current_a"] == "nan"
+        assert ctx["vdd"] == "inf"
+        assert ctx["headroom"] == "-inf"
+        assert ctx["fine"] == 1.5
+        # Must survive strict serialisation end to end.
+        json.dumps(ctx, allow_nan=False)
+
+    def test_non_finite_error_record_is_strictly_serialisable(self):
+        err = SolverError(
+            "non-finite tile current",
+            core_current_a=float("nan"),
+            vdd=float("inf"),
+            tile=2,
+        )
+        json.dumps(err.to_json(), allow_nan=False)

@@ -5,6 +5,7 @@ import threading
 
 import pytest
 
+import repro.harness.supervisor as supervisor_module
 from repro.faults.recovery import RecoveryPolicy
 from repro.harness.errors import (
     CheckpointCorrupt,
@@ -303,6 +304,90 @@ class TestRetriesAndFailure:
         assert second.calls == []
         assert len(resumed.failed_cells) == 1
         assert resumed.failed_cells[0].from_checkpoint
+
+    def test_retry_failed_reexecutes_only_failed_cells(self, cp):
+        bad, good = cell(interval=0.2), cell(interval=0.1)
+        runner = CountingRunner(fail={bad.key: [SolverError("boom")]})
+        first = CampaignSupervisor(
+            [bad, good], cp, policy=self._policy(retries=0),
+            cell_runner=runner,
+        ).run()
+        assert [o.cell.key for o in first.failed_cells] == [bad.key]
+
+        second = CountingRunner()  # succeeds this time
+        resumed = CampaignSupervisor(
+            [bad, good], cp, policy=self._policy(retries=0),
+            cell_runner=second,
+        ).run(resume=True, retry_failed=True)
+        assert second.calls == [bad.key]  # good was restored, not rerun
+        assert resumed.failed_cells == ()
+        assert len(resumed.completed_cells) == 2
+        # The checkpoint record was overwritten with the new outcome.
+        third = CampaignSupervisor(
+            [bad, good], cp, policy=self._policy(retries=0),
+            cell_runner=CountingRunner(),
+        ).run(resume=True)
+        assert third.failed_cells == ()
+        assert third.restored_count == 2
+
+    def test_non_finite_solver_context_survives_checkpointing(self, cp):
+        """The solver guards put NaN/inf into error context by
+        construction; checkpointing such a failure must not crash the
+        campaign (payload digests use allow_nan=False)."""
+        bad, good = cell(interval=0.2), cell(interval=0.1)
+        poison = SolverError(
+            "non-finite tile current in PSN kernel",
+            core_current_a=float("nan"),
+            vdd=float("inf"),
+            tile=0,
+        )
+        runner = CountingRunner(fail={bad.key: [poison] * 10})
+        outcome = CampaignSupervisor(
+            [bad, good], cp, policy=self._policy(retries=0),
+            cell_runner=runner,
+        ).run()
+        assert [o.cell.key for o in outcome.failed_cells] == [bad.key]
+        assert [o.cell.key for o in outcome.completed_cells] == [good.key]
+        ctx = outcome.failed_cells[0].attempts[0].context
+        assert ctx["core_current_a"] == "nan"
+        assert ctx["vdd"] == "inf"
+        # The checkpoint round-trips and the failure is restorable.
+        resumed = CampaignSupervisor(
+            [bad, good], cp, policy=self._policy(retries=0),
+            cell_runner=CountingRunner(),
+        ).run(resume=True)
+        assert resumed.restored_count == 2
+        assert resumed.table_json() == outcome.table_json()
+
+    def test_timeout_rebuilds_shared_default_runner(self, cp, monkeypatch):
+        """An abandoned (timed-out) worker keeps a reference to the
+        runner it was started with; the supervisor must hand retries a
+        fresh default runner so the two never share mutable state."""
+        c = cell()
+        release = threading.Event()
+        built = []
+
+        def fake_default_runner():
+            index = len(built)
+            built.append(index)
+
+            def runner(_cell):
+                if index == 0:  # only the first runner hangs
+                    release.wait(10.0)
+                return fake_result(_cell)
+
+            return runner
+
+        monkeypatch.setattr(
+            supervisor_module, "default_cell_runner", fake_default_runner
+        )
+        outcome = CampaignSupervisor(
+            [c], cp, policy=self._policy(retries=1, deadline_s=0.05)
+        ).run()
+        release.set()
+        assert built == [0, 1]  # fresh runner built after the timeout
+        assert len(outcome.completed_cells) == 1
+        assert outcome.outcomes[0].attempts[0].error_type == "SimTimeout"
 
     def test_watchdog_times_out_hung_cell(self, cp):
         c = cell()

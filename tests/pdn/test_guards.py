@@ -11,7 +11,7 @@ on the same class of poisoned input.
 import numpy as np
 import pytest
 
-from repro.harness.errors import SolverError
+from repro.harness.errors import SolverError, SolverInputError
 from repro.pdn.circuit import GROUND, Circuit
 from repro.pdn.fast import FastPsnModel, _DEFAULT_PEAK
 from repro.pdn.transient import MIN_DT_SCALE, guarded_transient
@@ -154,19 +154,47 @@ class TestGuardedTransient:
         with pytest.raises(ValueError):
             guarded_transient(FakeCircuit(1), 1e-9, self.DT, min_dt_scale=0.0)
 
+    def test_input_error_short_circuits_the_ladder(self):
+        # Bad input data cannot be fixed by a method or timestep
+        # change: the ladder must stop after the first rung instead of
+        # burning four more full transient solves.
+        class PoisonedCircuit(FakeCircuit):
+            def transient(self, duration, dt, method="trapezoidal"):
+                self.attempts.append((method, dt))
+                raise SolverInputError(
+                    "non-finite source current waveform", node="t00", step=0
+                )
+
+        poisoned = PoisonedCircuit()
+        with pytest.raises(SolverInputError) as excinfo:
+            guarded_transient(poisoned, 1e-9, self.DT)
+        assert poisoned.attempts == [("trapezoidal", self.DT)]
+        # The original error propagates as-is, node context intact.
+        assert excinfo.value.context["node"] == "t00"
+
+    def test_input_error_short_circuits_on_real_circuit(self):
+        c = rc_circuit()
+        c.isource("out", GROUND, lambda t: np.full_like(t, np.inf))
+        with pytest.raises(SolverInputError):
+            guarded_transient(c, 1e-3, 1e-5)
+
 
 class TestFastCircuitParity:
     """The fast kernel path and the circuit path fail alike on poison."""
 
     def test_kernel_rejects_nan_vdd(self):
         kernel = _DEFAULT_PEAK.kernel_for(0.5)
-        with pytest.raises(SolverError, match="non-finite supply voltage"):
+        # Classified as an input error (same class as the circuit
+        # path's waveform pre-check) so retry ladders skip it.
+        with pytest.raises(
+            SolverInputError, match="non-finite supply voltage"
+        ):
             kernel.evaluate(float("nan"), [None] * 4)
 
     def test_kernel_rejects_nan_tile_power(self):
         kernel = _DEFAULT_PEAK.kernel_for(0.5)
         loads = [TileLoad(float("nan"), 0.05, ActivityBin.HIGH)] + [None] * 3
-        with pytest.raises(SolverError) as excinfo:
+        with pytest.raises(SolverInputError) as excinfo:
             kernel.evaluate(0.5, loads)
         assert excinfo.value.context["tile"] == 0
 
