@@ -11,6 +11,8 @@ Usage::
     python -m repro campaign --checkpoint cp.json [--resume|--status]
                                           # supervised campaign
                                           # (see docs/robustness.md)
+    python -m repro bench [--quick]       # pinned microbenchmarks
+                                          # (see docs/performance.md)
 """
 
 from __future__ import annotations
@@ -35,6 +37,10 @@ def main(argv=None) -> int:
         from repro.harness.cli import main as campaign_main
 
         return campaign_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.perf.bench import main as bench_main
+
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the PARM (DAC 2018) evaluation figures.",

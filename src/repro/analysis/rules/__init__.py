@@ -16,6 +16,7 @@ from repro.analysis.rules.broad_except import BroadExceptRule
 from repro.analysis.rules.float_eq import FloatEqRule
 from repro.analysis.rules.import_cycle import ImportCycleRule
 from repro.analysis.rules.mutable_default import MutableDefaultRule
+from repro.analysis.rules.process_pool import ProcessPoolRule
 from repro.analysis.rules.seeded_rng import SeededRngRule
 from repro.analysis.rules.set_iteration import SetIterationRule
 from repro.analysis.rules.silent_except import SilentExceptRule
@@ -33,6 +34,7 @@ ALL_RULES: List[Type[Rule]] = [
     UnitSuffixRule,
     ImportCycleRule,
     SetIterationRule,
+    ProcessPoolRule,
 ]
 
 
@@ -47,6 +49,7 @@ __all__ = [
     "FloatEqRule",
     "ImportCycleRule",
     "MutableDefaultRule",
+    "ProcessPoolRule",
     "SeededRngRule",
     "SetIterationRule",
     "SilentExceptRule",

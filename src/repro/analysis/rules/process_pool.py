@@ -1,0 +1,89 @@
+"""Rule ``process-pool``: worker processes only via ``repro.perf``.
+
+Parallel campaign execution is byte-identical to serial *because* it is
+centralised: :mod:`repro.perf.parallel` spawns ``spawn``-context
+workers, seeds each cell's retry schedule from its content hash, and
+merges results in canonical order.  An ad-hoc ``ProcessPoolExecutor``
+(or ``multiprocessing`` pool / raw ``os.fork``) elsewhere would bypass
+all of that - fork-context workers inherit the parent's RNG state and
+held locks, and unmanaged completion order leaks into results.  Modules
+inside ``repro.perf`` are exempt; anything else needs an explicit
+pragma and a ``docs/lint.md`` entry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import ModuleInfo, Rule
+from repro.analysis.findings import Finding
+from repro.analysis.rules._util import attr_chain, from_imports, module_aliases
+
+#: ``concurrent.futures`` names that spawn worker processes.
+BANNED_FUTURES = frozenset({"ProcessPoolExecutor"})
+
+#: ``multiprocessing`` attributes that create processes or pools.
+BANNED_MP = frozenset({"Pool", "Process", "get_context", "set_start_method"})
+
+#: ``os`` functions that fork the interpreter.
+BANNED_OS = frozenset({"fork", "forkpty"})
+
+
+def _is_exempt(mod: ModuleInfo) -> bool:
+    parts = mod.package_parts
+    return len(parts) >= 2 and parts[0] == "repro" and parts[1] == "perf"
+
+
+class ProcessPoolRule(Rule):
+    id = "process-pool"
+    description = (
+        "no ProcessPoolExecutor/multiprocessing/os.fork outside "
+        "repro.perf; parallelism must go through the deterministic pool"
+    )
+
+    def check_module(self, mod: ModuleInfo) -> Iterable[Finding]:
+        if _is_exempt(mod):
+            return
+        tree = mod.tree
+
+        for module in ("concurrent.futures", "multiprocessing"):
+            banned = BANNED_FUTURES if "futures" in module else BANNED_MP
+            for name, _, lineno in from_imports(tree, module):
+                if name in banned:
+                    yield Finding(
+                        rule=self.id,
+                        path=mod.rel,
+                        line=lineno,
+                        message=(
+                            f"`from {module} import {name}` spawns "
+                            "worker processes outside repro.perf; use "
+                            "repro.perf.parallel (deterministic spawn "
+                            "pool) instead"
+                        ),
+                    )
+
+        futures_aliases = module_aliases(
+            tree, "concurrent.futures"
+        ) | module_aliases(tree, "futures")
+        mp_aliases = module_aliases(tree, "multiprocessing")
+        os_aliases = module_aliases(tree, "os")
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain is None or len(chain) < 2:
+                continue
+            dotted = ".".join(chain)
+            if (
+                (chain[0] in futures_aliases and chain[-1] in BANNED_FUTURES)
+                or (chain[0] in mp_aliases and chain[1] in BANNED_MP)
+                or (chain[0] in os_aliases and chain[1] in BANNED_OS)
+            ):
+                yield self.finding(
+                    mod,
+                    node,
+                    f"call to {dotted} spawns worker processes outside "
+                    "repro.perf; use repro.perf.parallel (deterministic "
+                    "spawn pool) instead",
+                )

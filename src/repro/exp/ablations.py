@@ -22,7 +22,7 @@ import numpy as np
 from repro.apps.profiles import ApplicationProfile, build_profile
 from repro.apps.suite import ProfileLibrary, benchmark
 from repro.apps.workload import WorkloadType, generate_workload
-from repro.chip.cmp import default_chip
+from repro.chip.cmp import ChipDescription, default_chip
 from repro.chip.mesh import MeshGeometry
 from repro.core.base import MappingDecision, ResourceManager
 from repro.core.clustering import cluster_tasks
@@ -219,15 +219,19 @@ def parm_component_ablation(
     seeds: Sequence[int] = (1, 2),
     arrival_interval_s: float = 0.1,
     workload_type: WorkloadType = WorkloadType.MIXED,
+    chip: Optional[ChipDescription] = None,
+    library: Optional[ProfileLibrary] = None,
 ) -> List[ParmAblationRow]:
     """Peak PSN / completions for PARM variants with pieces disabled.
 
     Deadlines are loose so every variant maps every application at its
     preferred operating point - the comparison isolates the mapping
-    policy's effect on PSN rather than queueing luck.
+    policy's effect on PSN rather than queueing luck.  ``chip`` /
+    ``library`` default to fresh instances; pass shared ones to reuse
+    profile and topology caches across report sections.
     """
-    chip = default_chip()
-    library = ProfileLibrary()
+    chip = chip or default_chip()
+    library = library or ProfileLibrary()
     variants: Sequence[ResourceManager] = (
         ParmManager(),
         ActivityBlindParm(),
@@ -296,6 +300,7 @@ def dspb_sensitivity_sweep(
     n_apps: int = 12,
     seeds: Sequence[int] = (1,),
     arrival_interval_s: float = 0.1,
+    library: Optional[ProfileLibrary] = None,
 ) -> List[DspbRow]:
     """Completions vs. the DsPB, for PARM+PANR and HM+XY.
 
@@ -311,7 +316,9 @@ def dspb_sensitivity_sweep(
     from repro.chip.thermal import ThermalModel
     from repro.core import HarmonicManager
 
-    library = ProfileLibrary()
+    # The chip is rebuilt per budget (the budget is a chip field), but
+    # the profile library is budget-independent and can be shared.
+    library = library or ProfileLibrary()
     rows = []
     for budget in budgets_w:
         chip = ChipDescription(

@@ -25,7 +25,7 @@ from repro.chip.technology import TECHNOLOGY_ORDER, technology
 from repro.exp.frameworks import FRAMEWORKS, Framework
 from repro.exp.runner import FrameworkResult, run_framework
 from repro.apps.suite import ProfileLibrary
-from repro.chip.cmp import default_chip
+from repro.chip.cmp import ChipDescription, default_chip
 from repro.pdn.transient import PsnTransientAnalysis
 from repro.pdn.waveforms import ActivityBin, TileLoad
 
@@ -245,10 +245,17 @@ def run_fig67(
     n_apps: int = 20,
     seeds: Sequence[int] = (1, 2, 3),
     arrival_interval_s: float = 0.1,
+    chip: Optional[ChipDescription] = None,
+    library: Optional[ProfileLibrary] = None,
 ) -> List[Fig67Row]:
-    """The shared runs behind Fig. 6 (execution time) and Fig. 7 (PSN)."""
-    chip = default_chip()
-    library = ProfileLibrary()
+    """The shared runs behind Fig. 6 (execution time) and Fig. 7 (PSN).
+
+    ``chip`` / ``library`` default to fresh instances; pass shared ones
+    (as the report generator does) to reuse profile and topology caches
+    across figures.
+    """
+    chip = chip or default_chip()
+    library = library or ProfileLibrary()
     rows: List[Fig67Row] = []
     for workload in workloads:
         results: Dict[str, FrameworkResult] = {}
@@ -339,12 +346,18 @@ def fig8(
     framework_names: Sequence[str] = FIG8_FRAMEWORKS,
     n_apps: int = 20,
     seeds: Sequence[int] = (1, 2, 3),
+    chip: Optional[ChipDescription] = None,
+    library: Optional[ProfileLibrary] = None,
 ) -> List[Fig8Row]:
-    """Applications successfully completed under over-subscription."""
+    """Applications successfully completed under over-subscription.
+
+    ``chip`` / ``library`` default to fresh instances; pass shared ones
+    to reuse profile and topology caches across figures.
+    """
     from repro.exp.frameworks import framework as fw_lookup
 
-    chip = default_chip()
-    library = ProfileLibrary()
+    chip = chip or default_chip()
+    library = library or ProfileLibrary()
     rows: List[Fig8Row] = []
     for workload in workloads:
         for interval in arrival_intervals_s:

@@ -18,7 +18,7 @@ from repro.chip.cmp import ChipDescription, default_chip
 from repro.exp.frameworks import Framework
 from repro.harness.errors import ConfigError
 from repro.runtime.metrics import RunMetrics
-from repro.runtime.simulator import RuntimeSimulator
+from repro.runtime.simulator import RuntimeSimulator, SimulatorContext
 
 
 @dataclass(frozen=True)
@@ -88,6 +88,11 @@ def run_framework(
         )
     chip = chip or default_chip()
     library = library or ProfileLibrary()
+    # Chip-derived immutables (topology tables, fitted kernel ladders,
+    # performance model, domain maps) are identical across seeds: build
+    # them once and hand the same context to every simulator instead of
+    # re-deriving the warm-up state per seed.
+    context = SimulatorContext.for_chip(chip)
     runs: List[RunMetrics] = []
     for seed in seeds:
         kwargs = {}
@@ -102,7 +107,11 @@ def run_framework(
             **kwargs,
         )
         sim = RuntimeSimulator(
-            chip, fw.make_manager(), fw.make_routing(), seed=seed + 1000
+            chip,
+            fw.make_manager(),
+            fw.make_routing(),
+            seed=seed + 1000,
+            context=context,
         )
         runs.append(sim.run(workload))
     return FrameworkResult(

@@ -81,13 +81,16 @@ def validate_on_manager_decisions(
     chip: Optional[ChipDescription] = None,
     window_s: float = 200e-9,
     dt_s: float = 100e-12,
+    library: Optional[ProfileLibrary] = None,
 ) -> ValidationSummary:
     """Audit PARM and HM decisions for several benchmarks.
 
     Returns the error summary; rows carry per-decision detail.
+    ``chip`` / ``library`` default to fresh instances; pass shared ones
+    to reuse profile caches across report sections.
     """
     chip = chip or default_chip()
-    library = ProfileLibrary()
+    library = library or ProfileLibrary()
     rows: List[ValidationRow] = []
     for name in benchmarks:
         profile = library.get(name)

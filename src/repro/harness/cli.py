@@ -8,6 +8,8 @@ Usage::
         --retry-failed                       # resume, re-run failures
     python -m repro campaign --checkpoint cp.json --status      # inspect
     python -m repro campaign --checkpoint cp.json \\
+        --workers 4                  # parallel, byte-identical to serial
+    python -m repro campaign --checkpoint cp.json \\
         --frameworks HM+XY PARM+PANR --workloads compute mixed \\
         --intervals 0.2 0.1 --seeds 1 2 --n-apps 12 \\
         --deadline-s 600 --retries 2 \\
@@ -125,6 +127,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: %(default)s)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for cell execution; results and "
+        "checkpoints are byte-identical to a serial run "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
         "--json-out",
         metavar="PATH",
         help="write the final result table as canonical JSON",
@@ -200,6 +211,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 recovery=RecoveryPolicy(max_remap_retries=args.retries),
                 deadline_s=args.deadline_s,
             ),
+            workers=args.workers,
         )
     except (ConfigError, ValueError) as exc:
         print(f"configuration error: {exc}", file=sys.stderr)

@@ -44,6 +44,7 @@ byte-identical to an uninterrupted one.
 from __future__ import annotations
 
 import hashlib
+import importlib
 import json
 import os
 import threading
@@ -370,6 +371,138 @@ def default_cell_runner() -> CellRunner:
     return run
 
 
+class CellExecutor:
+    """Runs single cells with the watchdog / taxonomy / retry semantics.
+
+    This is the execution unit shared by the serial
+    :class:`CampaignSupervisor` loop and by the
+    :mod:`repro.perf.parallel` process-pool workers: each worker process
+    holds exactly one executor, so the default runner's shared chip /
+    profile-library cache is built once per process and rebuilt after a
+    timeout - exactly the serial semantics, per process.
+
+    A cell's outcome depends only on ``(cell, policy, cell_runner)``:
+    the backoff schedule is seeded from the cell's content hash and no
+    wall-clock data is recorded, so the same cell produces the same
+    outcome in any process, in any order.
+
+    Args:
+        policy: Retry/backoff/watchdog limits.
+        cell_runner: Override runner; ``None`` builds
+            :func:`default_cell_runner` lazily on first use.
+        sleep_fn: Called with each recorded backoff delay before a
+            retry; ``None`` records the schedule without sleeping.
+    """
+
+    def __init__(
+        self,
+        policy: SupervisorPolicy,
+        cell_runner: Optional[CellRunner] = None,
+        sleep_fn: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self._policy = policy
+        self._cell_runner = cell_runner
+        self._sleep_fn = sleep_fn
+        #: The runner currently in use; rebuilt after a timeout when it
+        #: is the (shared-state) default runner.
+        self._runner: Optional[CellRunner] = cell_runner
+
+    def run_cell(self, cell: CampaignCell) -> CellOutcome:
+        """Run one cell to a terminal state (retries included)."""
+        attempts: List[CellAttempt] = []
+        schedule = self._policy.backoff_schedule_s(cell.key)
+        for attempt in range(self._policy.max_attempts):
+            try:
+                result = self._execute(cell)
+                return CellOutcome(cell, COMPLETED, result, tuple(attempts))
+            except ReproError as exc:
+                if isinstance(exc, SimTimeout):
+                    self._discard_runner()
+                last = attempt == self._policy.max_attempts - 1
+                backoff_s = 0.0 if last else schedule[attempt]
+                attempts.append(
+                    CellAttempt(
+                        index=attempt,
+                        error_type=type(exc).__name__,
+                        error_message=exc.message,
+                        context=jsonable_context(exc.context),
+                        backoff_s=backoff_s,
+                    )
+                )
+                if not last and self._sleep_fn is not None:
+                    self._sleep_fn(backoff_s)
+        return CellOutcome(cell, FAILED, None, tuple(attempts))
+
+    def _current_runner(self) -> CellRunner:
+        if self._runner is None:
+            self._runner = self._cell_runner or default_cell_runner()
+        return self._runner
+
+    def _discard_runner(self) -> None:
+        """Drop the default runner after a timed-out attempt.
+
+        The abandoned daemon worker may still be executing against the
+        runner's shared state (the chip and ``ProfileLibrary`` cache of
+        :func:`default_cell_runner`), so later attempts get a freshly
+        built runner and never race it.  A user-supplied ``cell_runner``
+        cannot be rebuilt here and is kept (see
+        :class:`CampaignSupervisor`).
+        """
+        if self._cell_runner is None:
+            self._runner = None
+
+    def _execute(self, cell: CampaignCell) -> Dict[str, Any]:
+        """Run one attempt, bounded by the deadline watchdog."""
+        runner = self._current_runner()
+        if self._policy.deadline_s is None:
+            return self._guard(cell, runner)
+        box: Dict[str, Any] = {}
+
+        def target() -> None:
+            try:
+                box["result"] = self._guard(cell, runner)
+            # Deferred re-raise: the exception is stored for the
+            # supervising thread, which re-raises it right below - the
+            # evidence is never swallowed.
+            except BaseException as exc:  # parmlint: ok[broad-except]
+                box["error"] = exc
+
+        worker = threading.Thread(
+            target=target, name=f"cell-{cell.key}", daemon=True
+        )
+        worker.start()
+        worker.join(self._policy.deadline_s)
+        if worker.is_alive():
+            # The worker cannot be killed; it is abandoned (daemon
+            # thread, may keep consuming CPU until its solve returns),
+            # the cell is charged a timeout, and run_cell discards the
+            # shared default runner so no live attempt races it.
+            raise SimTimeout(
+                "cell exceeded its deadline watchdog",
+                cell=cell.label,
+                key=cell.key,
+                deadline_s=self._policy.deadline_s,
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
+
+    def _guard(self, cell: CampaignCell, runner: CellRunner) -> Dict[str, Any]:
+        """Taxonomy boundary: classify anything a cell can raise."""
+        try:
+            return runner(cell)
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise ReproError(
+                "unclassified error while running cell",
+                cell=cell.label,
+                key=cell.key,
+                error_type=type(exc).__name__,
+                error=str(exc),
+            ) from exc
+
+
 class CampaignSupervisor:
     """Runs a campaign's cells as supervised, checkpointed units.
 
@@ -383,10 +516,22 @@ class CampaignSupervisor:
             and rebuilt after a cell timeout so abandoned workers never
             share state with live attempts).  A custom runner is reused
             across attempts even after a timeout - it must tolerate an
-            abandoned attempt still executing in the background.
+            abandoned attempt still executing in the background.  With
+            ``workers > 1`` the runner must be picklable (a module-level
+            callable), because it is shipped to spawned worker
+            processes.
         sleep_fn: Called with each recorded backoff delay before a
             retry.  ``None`` (default) records the schedule without
-            sleeping, keeping replays instant and deterministic.
+            sleeping, keeping replays instant and deterministic.  Not
+            forwarded to pool workers (``workers > 1`` records backoff
+            without sleeping).
+        workers: Number of worker processes for cell execution.  ``1``
+            (default) runs serially in-process; ``N > 1`` fans pending
+            cells across ``N`` spawned processes via
+            :func:`repro.perf.parallel.run_cells`.  Results are merged
+            in campaign order and checkpointed as each cell completes,
+            so the final table and checkpoint are byte-identical to a
+            serial run.
     """
 
     def __init__(
@@ -396,6 +541,7 @@ class CampaignSupervisor:
         policy: Optional[SupervisorPolicy] = None,
         cell_runner: Optional[CellRunner] = None,
         sleep_fn: Optional[Callable[[float], None]] = None,
+        workers: int = 1,
     ) -> None:
         cells = tuple(cells)
         if not cells:
@@ -404,14 +550,17 @@ class CampaignSupervisor:
         if len(set(keys)) != len(keys):
             dupes = sorted({k for k in keys if keys.count(k) > 1})
             raise ConfigError("duplicate campaign cells", keys=tuple(dupes))
+        if workers < 1:
+            raise ConfigError("workers must be >= 1", workers=workers)
         self._cells = cells
         self._checkpoint_path = checkpoint_path
         self._policy = policy or SupervisorPolicy()
         self._cell_runner = cell_runner
         self._sleep_fn = sleep_fn
-        #: The runner currently in use; rebuilt after a timeout when it
-        #: is the (shared-state) default runner.
-        self._runner: Optional[CellRunner] = cell_runner
+        self._workers = int(workers)
+        self._executor = CellExecutor(
+            self._policy, cell_runner=cell_runner, sleep_fn=sleep_fn
+        )
 
     @property
     def cells(self) -> Tuple[CampaignCell, ...]:
@@ -470,116 +619,54 @@ class CampaignSupervisor:
         state: Dict[str, Dict[str, Any]] = {}
         if resume and os.path.exists(self._checkpoint_path):
             state = self._load_state()
-        outcomes: List[CellOutcome] = []
+        restored: Dict[str, CellOutcome] = {}
+        pending: List[CampaignCell] = []
         for cell in self._cells:
             record = state.get(cell.key)
             if record is not None and not (
                 retry_failed and record.get("status") == FAILED
             ):
-                outcomes.append(self._restore(cell, record))
-                continue
-            outcome = self._run_cell(cell)
-            outcomes.append(outcome)
-            state[cell.key] = self._record(outcome)
+                restored[cell.key] = self._restore(cell, record)
+            else:
+                pending.append(cell)
+        executed: Dict[str, CellOutcome] = {}
+
+        def commit(outcome: CellOutcome) -> None:
+            executed[outcome.cell.key] = outcome
+            state[outcome.cell.key] = self._record(outcome)
             self._save_state(state)
-        return CampaignOutcome(tuple(outcomes))
+
+        if self._workers > 1 and len(pending) > 1:
+            # repro.perf builds on this module, so the pool is loaded at
+            # run time (importlib) rather than imported statically: the
+            # dependency is one-way per call and only exists when the
+            # caller asked for workers > 1.
+            run_cells = importlib.import_module(
+                "repro.perf.parallel"
+            ).run_cells
+            run_cells(
+                pending,
+                self._policy,
+                workers=self._workers,
+                cell_runner=self._cell_runner,
+                on_outcome=commit,
+            )
+        else:
+            for cell in pending:
+                commit(self._run_cell(cell))
+        return CampaignOutcome(
+            tuple(
+                restored[c.key] if c.key in restored else executed[c.key]
+                for c in self._cells
+            )
+        )
 
     # ------------------------------------------------------------------
-    # Cell execution: watchdog, taxonomy boundary, retries
+    # Cell execution (delegated to the shared CellExecutor unit)
     # ------------------------------------------------------------------
 
     def _run_cell(self, cell: CampaignCell) -> CellOutcome:
-        attempts: List[CellAttempt] = []
-        schedule = self._policy.backoff_schedule_s(cell.key)
-        for attempt in range(self._policy.max_attempts):
-            try:
-                result = self._execute(cell)
-                return CellOutcome(cell, COMPLETED, result, tuple(attempts))
-            except ReproError as exc:
-                if isinstance(exc, SimTimeout):
-                    self._discard_runner()
-                last = attempt == self._policy.max_attempts - 1
-                backoff_s = 0.0 if last else schedule[attempt]
-                attempts.append(
-                    CellAttempt(
-                        index=attempt,
-                        error_type=type(exc).__name__,
-                        error_message=exc.message,
-                        context=jsonable_context(exc.context),
-                        backoff_s=backoff_s,
-                    )
-                )
-                if not last and self._sleep_fn is not None:
-                    self._sleep_fn(backoff_s)
-        return CellOutcome(cell, FAILED, None, tuple(attempts))
-
-    def _current_runner(self) -> CellRunner:
-        if self._runner is None:
-            self._runner = self._cell_runner or default_cell_runner()
-        return self._runner
-
-    def _discard_runner(self) -> None:
-        """Drop the default runner after a timed-out attempt.
-
-        The abandoned daemon worker may still be executing against the
-        runner's shared state (the chip and ``ProfileLibrary`` cache of
-        :func:`default_cell_runner`), so later attempts get a freshly
-        built runner and never race it.  A user-supplied ``cell_runner``
-        cannot be rebuilt here and is kept (see the class docstring).
-        """
-        if self._cell_runner is None:
-            self._runner = None
-
-    def _execute(self, cell: CampaignCell) -> Dict[str, Any]:
-        """Run one attempt, bounded by the deadline watchdog."""
-        runner = self._current_runner()
-        if self._policy.deadline_s is None:
-            return self._guard(cell, runner)
-        box: Dict[str, Any] = {}
-
-        def target() -> None:
-            try:
-                box["result"] = self._guard(cell, runner)
-            # Deferred re-raise: the exception is stored for the
-            # supervising thread, which re-raises it right below - the
-            # evidence is never swallowed.
-            except BaseException as exc:  # parmlint: ok[broad-except]
-                box["error"] = exc
-
-        worker = threading.Thread(
-            target=target, name=f"cell-{cell.key}", daemon=True
-        )
-        worker.start()
-        worker.join(self._policy.deadline_s)
-        if worker.is_alive():
-            # The worker cannot be killed; it is abandoned (daemon
-            # thread, may keep consuming CPU until its solve returns),
-            # the cell is charged a timeout, and _run_cell discards the
-            # shared default runner so no live attempt races it.
-            raise SimTimeout(
-                "cell exceeded its deadline watchdog",
-                cell=cell.label,
-                key=cell.key,
-                deadline_s=self._policy.deadline_s,
-            )
-        if "error" in box:
-            raise box["error"]
-        return box["result"]
-
-    def _guard(self, cell: CampaignCell, runner: CellRunner) -> Dict[str, Any]:
-        """Taxonomy boundary: classify anything a cell can raise."""
-        try:
-            return runner(cell)
-        except ReproError:
-            raise
-        except Exception as exc:
-            raise ReproError(
-                "unclassified error while running cell",
-                cell=cell.label,
-                key=cell.key,
-                error_type=type(exc).__name__,
-                error=str(exc),
-            ) from exc
+        return self._executor.run_cell(cell)
 
     # ------------------------------------------------------------------
     # Checkpoint state

@@ -341,7 +341,7 @@ class AnalyticalNocModel:
             pending: Dict[int, float] = {flow.src: flow.rate}
             while pending:
                 node = max(
-                    pending, key=lambda n: topo.mesh.manhattan(n, flow.dst)
+                    pending, key=lambda n: topo.hops(n, flow.dst)
                 )
                 rate = pending.pop(node)
                 router_load[node] += rate
@@ -401,7 +401,7 @@ class AnalyticalNocModel:
         lat: Dict[int, float] = {flow.dst: 0.0}
         worst: Dict[int, float] = {flow.dst: 0.0}
         nodes = sorted(
-            splits, key=lambda n: self._topo.mesh.manhattan(n, flow.dst)
+            splits, key=lambda n: self._topo.hops(n, flow.dst)
         )
         for node in nodes:
             node_split = splits[node]

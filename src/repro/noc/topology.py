@@ -61,8 +61,8 @@ class MeshTopology:
     def __init__(self, mesh: MeshGeometry):
         self._mesh = mesh
         self._neighbors: Dict[int, Dict[Direction, int]] = {}
-        for tile in mesh.tiles():
-            x, y = mesh.coord_of(tile)
+        coords = [mesh.coord_of(tile) for tile in mesh.tiles()]
+        for tile, (x, y) in enumerate(coords):
             table: Dict[Direction, int] = {}
             for d in MESH_DIRECTIONS:
                 dx, dy = d.offset
@@ -70,6 +70,27 @@ class MeshTopology:
                 if mesh.contains(coord):
                     table[d] = mesh.tile_at(coord)
             self._neighbors[tile] = table
+        # Hop-distance and productive-direction tables, precomputed once
+        # per topology: routing and the analytical NoC model look these
+        # up in their innermost loops, where the coordinate arithmetic
+        # of MeshGeometry.manhattan dominated profiles.
+        self._hops: List[List[int]] = [
+            [abs(ax - bx) + abs(ay - by) for bx, by in coords]
+            for ax, ay in coords
+        ]
+        self._towards: Dict[Tuple[int, int], Tuple[Direction, ...]] = {}
+        for src, (sx, sy) in enumerate(coords):
+            for dst, (dx_, dy_) in enumerate(coords):
+                dirs: List[Direction] = []
+                if dx_ > sx:
+                    dirs.append(Direction.EAST)
+                elif dx_ < sx:
+                    dirs.append(Direction.WEST)
+                if dy_ > sy:
+                    dirs.append(Direction.SOUTH)
+                elif dy_ < sy:
+                    dirs.append(Direction.NORTH)
+                self._towards[(src, dst)] = tuple(dirs)
 
     @property
     def mesh(self) -> MeshGeometry:
@@ -85,20 +106,13 @@ class MeshTopology:
         """Mesh directions with a neighbour (2-4 of them)."""
         return list(self._neighbors[tile])
 
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan (hop) distance between two tiles, via the table."""
+        return self._hops[src][dst]
+
     def direction_towards(self, src: int, dst: int) -> List[Direction]:
         """Productive (distance-reducing) directions from src to dst."""
-        sx, sy = self._mesh.coord_of(src)
-        dx, dy = self._mesh.coord_of(dst)
-        dirs: List[Direction] = []
-        if dx > sx:
-            dirs.append(Direction.EAST)
-        elif dx < sx:
-            dirs.append(Direction.WEST)
-        if dy > sy:
-            dirs.append(Direction.SOUTH)
-        elif dy < sy:
-            dirs.append(Direction.NORTH)
-        return dirs
+        return list(self._towards[(src, dst)])
 
     def links(self) -> List[Tuple[int, Direction]]:
         """All unidirectional links as ``(src_tile, direction)`` pairs."""

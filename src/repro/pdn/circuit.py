@@ -78,6 +78,41 @@ def _stamp_dense(a: np.ndarray, i: Optional[int], j: Optional[int], y) -> None:
 
 Waveform = Union[float, Callable[[np.ndarray], np.ndarray]]
 
+#: Bump this whenever the numerics of the transient solver change
+#: (integration stamps, guard behaviour, companion models...).  On-disk
+#: caches of solver-derived artifacts (see :mod:`repro.perf.cache`) key
+#: on it so stale fits are invalidated by a solver upgrade.
+SOLVER_VERSION = 2
+
+
+@dataclass
+class _TransientPlan:
+    """Reusable state of one transient configuration of a netlist.
+
+    Everything here depends only on the element topology/values and the
+    ``(method, dt)`` pair - *not* on source waveforms or voltage-source
+    values, which enter the MNA system through the right-hand side only.
+    Caching the plan therefore lets one factorisation serve arbitrarily
+    many waveforms and supply voltages.
+    """
+
+    method: str
+    dt_s: float
+    n: int
+    n_l: int
+    n_v: int
+    size: int
+    lu: object
+    condition_ratio: float
+    cap_g: np.ndarray
+    ind_r: np.ndarray
+    cap_a: np.ndarray
+    cap_b: np.ndarray
+    ind_a: np.ndarray
+    ind_b: np.ndarray
+    isrc_f: np.ndarray
+    isrc_t: np.ndarray
+
 
 @dataclass
 class _Resistor:
@@ -154,6 +189,13 @@ class Circuit:
         self._vsources: List[_VSource] = []
         self._isources: List[_ISource] = []
         self._nodes: Dict[str, int] = {}
+        # Netlist revision counter: bumped by every element addition so
+        # cached factorisation plans know when they are stale.
+        self._rev = 0
+        self._plan_rev = -1
+        self._plans: Dict[tuple, _TransientPlan] = {}
+        self._dc_rev = -1
+        self._dc_lu: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Netlist construction
@@ -165,6 +207,7 @@ class Circuit:
             raise ValueError(f"resistance must be positive, got {ohms}")
         self._touch(a), self._touch(b)
         self._resistors.append(_Resistor(a, b, ohms))
+        self._rev += 1
 
     def capacitor(self, a: str, b: str, farads: float) -> None:
         """Add a capacitor between nodes ``a`` and ``b``."""
@@ -172,6 +215,7 @@ class Circuit:
             raise ValueError(f"capacitance must be positive, got {farads}")
         self._touch(a), self._touch(b)
         self._capacitors.append(_Capacitor(a, b, farads))
+        self._rev += 1
 
     def inductor(self, a: str, b: str, henries: float) -> None:
         """Add an inductor between nodes ``a`` and ``b``."""
@@ -179,11 +223,13 @@ class Circuit:
             raise ValueError(f"inductance must be positive, got {henries}")
         self._touch(a), self._touch(b)
         self._inductors.append(_Inductor(a, b, henries))
+        self._rev += 1
 
     def vsource(self, pos: str, neg: str, volts: float) -> None:
         """Add an ideal DC voltage source; ``pos`` is ``volts`` above ``neg``."""
         self._touch(pos), self._touch(neg)
         self._vsources.append(_VSource(pos, neg, volts))
+        self._rev += 1
 
     def isource(self, frm: str, to: str, waveform: Waveform) -> None:
         """Add a current source driving current from node ``frm`` to ``to``.
@@ -198,6 +244,7 @@ class Circuit:
         """
         self._touch(frm), self._touch(to)
         self._isources.append(_ISource(frm, to, waveform))
+        self._rev += 1
 
     @property
     def node_names(self) -> List[str]:
@@ -238,6 +285,8 @@ class Circuit:
         method: str = "trapezoidal",
         max_condition: float = DEFAULT_MAX_CONDITION,
         max_abs_v: float = DEFAULT_MAX_ABS_V,
+        isource_waveforms: Optional[Sequence[Waveform]] = None,
+        vsource_values: Optional[Sequence[float]] = None,
     ) -> TransientResult:
         """Run a fixed-step transient analysis from the DC operating point.
 
@@ -248,6 +297,13 @@ class Circuit:
         offending node and step, instead of propagating a raw
         ``LinAlgError`` or silently returning garbage.
 
+        The constant MNA matrix and its sparse-LU factorisation are
+        cached per ``(method, dt)`` on the circuit (invalidated by any
+        netlist change), so repeated solves of the same topology - e.g.
+        sweeping waveforms or supply voltages via the override
+        parameters - factorise once and only rebuild the right-hand
+        side.
+
         Args:
             duration: Total simulated time in seconds.
             dt: Timestep in seconds.
@@ -256,6 +312,13 @@ class Circuit:
                 estimate exceeds this (``inf`` disables the check).
             max_abs_v: Node-voltage magnitude treated as divergence
                 (``inf`` disables the check).
+            isource_waveforms: When given, use these waveforms (one per
+                current source, in insertion order) instead of the
+                netlist's own - sources enter through the right-hand
+                side only, so this reuses the cached factorisation.
+            vsource_values: When given, override the voltage-source
+                values (one per source, in insertion order); same
+                factorisation-reuse property as the waveform override.
 
         Returns:
             A :class:`TransientResult` with all node voltages.
@@ -270,14 +333,133 @@ class Circuit:
             raise ValueError(f"unknown integration method {method!r}")
         if not self._nodes:
             raise ValueError("circuit has no nodes")
+        waveforms: Sequence[Waveform]
+        if isource_waveforms is None:
+            waveforms = [s.waveform for s in self._isources]
+        else:
+            if len(isource_waveforms) != len(self._isources):
+                raise ValueError(
+                    f"expected {len(self._isources)} waveform overrides, "
+                    f"got {len(isource_waveforms)}"
+                )
+            waveforms = list(isource_waveforms)
+        if vsource_values is None:
+            vsrc_vals = np.array([v.volts for v in self._vsources])
+        else:
+            if len(vsource_values) != len(self._vsources):
+                raise ValueError(
+                    f"expected {len(self._vsources)} vsource overrides, "
+                    f"got {len(vsource_values)}"
+                )
+            vsrc_vals = np.asarray(vsource_values, dtype=float)
+        trap = method == "trapezoidal"
+
+        plan = self._transient_plan(method, dt)
+        if not np.isfinite(plan.condition_ratio) or (
+            plan.condition_ratio > max_condition
+        ):
+            raise SolverError(
+                "ill-conditioned MNA system matrix",
+                condition_estimate=float(plan.condition_ratio),
+                max_condition=max_condition,
+                method=method,
+                dt_s=dt,
+            )
+        n, n_l = plan.n, plan.n_l
+        size = plan.size
+        n_steps = int(round(duration / dt))
+        times = np.arange(n_steps + 1) * dt
+
+        # --- precompute source currents over the whole window ----------
+        i_wave = np.empty((len(waveforms), n_steps + 1))
+        for k, w in enumerate(waveforms):
+            if callable(w):
+                i_wave[k] = np.asarray(w(times), dtype=float)
+            else:
+                i_wave[k] = float(w)
+        bad_wave = ~np.isfinite(i_wave)
+        if bad_wave.any():
+            k, step = (int(v) for v in np.argwhere(bad_wave)[0])
+            # Input data, not numerics: no method/timestep change can
+            # fix a poisoned waveform, so fallback ladders re-raise.
+            raise SolverInputError(
+                "non-finite source current waveform",
+                node=self._isources[k].frm,
+                step=step,
+                time_s=float(times[step]),
+                method=method,
+            )
+
+        # --- initial condition: DC operating point at t=0 --------------
+        x = self._dc_state(i_wave[:, 0], n, n_l, len(self._vsources),
+                           vsrc_vals=vsrc_vals)
+        out = np.empty((n_steps + 1, n))
+        out[0] = x[:n]
+
+        cap_g, ind_r = plan.cap_g, plan.ind_r
+        cap_a, cap_b = plan.cap_a, plan.cap_b
+        ind_a, ind_b = plan.ind_a, plan.ind_b
+        isrc_f, isrc_t = plan.isrc_f, plan.isrc_t
+        lu = plan.lu
+
+        def node_v(state: np.ndarray, idx: np.ndarray) -> np.ndarray:
+            v = np.zeros(len(idx))
+            mask = idx >= 0
+            v[mask] = state[idx[mask]]
+            return v
+
+        # Capacitor branch current at t=0 (zero at DC steady state).
+        cap_i = np.zeros(len(self._capacitors))
+        cap_v = node_v(x, cap_a) - node_v(x, cap_b)
+
+        for step in range(1, n_steps + 1):
+            rhs = np.zeros(size)
+            # Current sources at the *new* time point.
+            i_now = i_wave[:, step]
+            np.add.at(rhs, isrc_f[isrc_f >= 0], -i_now[isrc_f >= 0])
+            np.add.at(rhs, isrc_t[isrc_t >= 0], i_now[isrc_t >= 0])
+            # Capacitor history currents (Norton companion).
+            if len(self._capacitors):
+                hist = cap_g * cap_v + (cap_i if trap else 0.0)
+                np.add.at(rhs, cap_a[cap_a >= 0], hist[cap_a >= 0])
+                np.add.at(rhs, cap_b[cap_b >= 0], -hist[cap_b >= 0])
+            # Inductor history voltages.
+            if n_l:
+                ind_i = x[n:n + n_l]
+                ind_v = node_v(x, ind_a) - node_v(x, ind_b)
+                hist_v = -ind_r * ind_i - (ind_v if trap else 0.0)
+                rhs[n:n + n_l] = hist_v
+            # Voltage source rows.
+            rhs[n + n_l:] = vsrc_vals
+
+            x = lu.solve(rhs)
+            self._check_state(x, n, step, float(times[step]), method, max_abs_v)
+            out[step] = x[:n]
+
+            new_cap_v = node_v(x, cap_a) - node_v(x, cap_b)
+            if len(self._capacitors):
+                if trap:
+                    cap_i = cap_g * (new_cap_v - cap_v) - cap_i
+                cap_v = new_cap_v
+
+        return TransientResult(
+            time=times, voltages=out, node_order=list(self._nodes)
+        )
+
+    def _transient_plan(self, method: str, dt: float) -> _TransientPlan:
+        """Build (or fetch the cached) factorisation plan for (method, dt)."""
+        if self._plan_rev != self._rev:
+            self._plans.clear()
+            self._plan_rev = self._rev
+        plan = self._plans.get((method, dt))
+        if plan is not None:
+            return plan
         trap = method == "trapezoidal"
 
         n = len(self._nodes)
         n_l = len(self._inductors)
         n_v = len(self._vsources)
         size = n + n_l + n_v
-        n_steps = int(round(duration / dt))
-        times = np.arange(n_steps + 1) * dt
 
         # --- constant system matrix -----------------------------------
         rows: List[int] = []
@@ -337,98 +519,39 @@ class Circuit:
                 size=size,
             ) from exc
         cond = _condition_estimate(matrix, lu)
-        if not np.isfinite(cond) or cond > max_condition:
-            raise SolverError(
-                "ill-conditioned MNA system matrix",
-                condition_estimate=float(cond),
-                max_condition=max_condition,
-                method=method,
-                dt_s=dt,
-            )
 
-        # --- precompute source currents over the whole window ----------
-        i_wave = np.empty((len(self._isources), n_steps + 1))
-        for k, s in enumerate(self._isources):
-            if callable(s.waveform):
-                i_wave[k] = np.asarray(s.waveform(times), dtype=float)
-            else:
-                i_wave[k] = float(s.waveform)
-        bad_wave = ~np.isfinite(i_wave)
-        if bad_wave.any():
-            k, step = (int(v) for v in np.argwhere(bad_wave)[0])
-            # Input data, not numerics: no method/timestep change can
-            # fix a poisoned waveform, so fallback ladders re-raise.
-            raise SolverInputError(
-                "non-finite source current waveform",
-                node=self._isources[k].frm,
-                step=step,
-                time_s=float(times[step]),
-                method=method,
-            )
-
-        # --- initial condition: DC operating point at t=0 --------------
-        x = self._dc_state(i_wave[:, 0], n, n_l, n_v)
-        out = np.empty((n_steps + 1, n))
-        out[0] = x[:n]
-
-        # Gather indices for history-term updates.
-        cap_a = np.array([self._idx(c.a) if self._idx(c.a) is not None else -1
-                          for c in self._capacitors], dtype=int)
-        cap_b = np.array([self._idx(c.b) if self._idx(c.b) is not None else -1
-                          for c in self._capacitors], dtype=int)
-        ind_a = np.array([self._idx(l.a) if self._idx(l.a) is not None else -1
-                          for l in self._inductors], dtype=int)
-        ind_b = np.array([self._idx(l.b) if self._idx(l.b) is not None else -1
-                          for l in self._inductors], dtype=int)
-        isrc_f = np.array([self._idx(s.frm) if self._idx(s.frm) is not None else -1
-                           for s in self._isources], dtype=int)
-        isrc_t = np.array([self._idx(s.to) if self._idx(s.to) is not None else -1
-                           for s in self._isources], dtype=int)
-        vsrc_vals = np.array([v.volts for v in self._vsources])
-
-        def node_v(state: np.ndarray, idx: np.ndarray) -> np.ndarray:
-            v = np.zeros(len(idx))
-            mask = idx >= 0
-            v[mask] = state[idx[mask]]
-            return v
-
-        # Capacitor branch current at t=0 (zero at DC steady state).
-        cap_i = np.zeros(len(self._capacitors))
-        cap_v = node_v(x, cap_a) - node_v(x, cap_b)
-
-        for step in range(1, n_steps + 1):
-            rhs = np.zeros(size)
-            # Current sources at the *new* time point.
-            i_now = i_wave[:, step]
-            np.add.at(rhs, isrc_f[isrc_f >= 0], -i_now[isrc_f >= 0])
-            np.add.at(rhs, isrc_t[isrc_t >= 0], i_now[isrc_t >= 0])
-            # Capacitor history currents (Norton companion).
-            if len(self._capacitors):
-                hist = cap_g * cap_v + (cap_i if trap else 0.0)
-                np.add.at(rhs, cap_a[cap_a >= 0], hist[cap_a >= 0])
-                np.add.at(rhs, cap_b[cap_b >= 0], -hist[cap_b >= 0])
-            # Inductor history voltages.
-            if n_l:
-                ind_i = x[n:n + n_l]
-                ind_v = node_v(x, ind_a) - node_v(x, ind_b)
-                hist_v = -ind_r * ind_i - (ind_v if trap else 0.0)
-                rhs[n:n + n_l] = hist_v
-            # Voltage source rows.
-            rhs[n + n_l:] = vsrc_vals
-
-            x = lu.solve(rhs)
-            self._check_state(x, n, step, float(times[step]), method, max_abs_v)
-            out[step] = x[:n]
-
-            new_cap_v = node_v(x, cap_a) - node_v(x, cap_b)
-            if len(self._capacitors):
-                if trap:
-                    cap_i = cap_g * (new_cap_v - cap_v) - cap_i
-                cap_v = new_cap_v
-
-        return TransientResult(
-            time=times, voltages=out, node_order=list(self._nodes)
+        plan = _TransientPlan(
+            method=method,
+            dt_s=dt,
+            n=n,
+            n_l=n_l,
+            n_v=n_v,
+            size=size,
+            lu=lu,
+            condition_ratio=float(cond),
+            cap_g=cap_g,
+            ind_r=ind_r,
+            cap_a=np.array(
+                [self._idx(c.a) if self._idx(c.a) is not None else -1
+                 for c in self._capacitors], dtype=int),
+            cap_b=np.array(
+                [self._idx(c.b) if self._idx(c.b) is not None else -1
+                 for c in self._capacitors], dtype=int),
+            ind_a=np.array(
+                [self._idx(l.a) if self._idx(l.a) is not None else -1
+                 for l in self._inductors], dtype=int),
+            ind_b=np.array(
+                [self._idx(l.b) if self._idx(l.b) is not None else -1
+                 for l in self._inductors], dtype=int),
+            isrc_f=np.array(
+                [self._idx(s.frm) if self._idx(s.frm) is not None else -1
+                 for s in self._isources], dtype=int),
+            isrc_t=np.array(
+                [self._idx(s.to) if self._idx(s.to) is not None else -1
+                 for s in self._isources], dtype=int),
         )
+        self._plans[(method, dt)] = plan
+        return plan
 
     def ac_impedance(
         self, node: str, frequencies_hz: Sequence[float]
@@ -564,38 +687,62 @@ class Circuit:
         n = len(self._nodes)
         return self._dc_state(i_now, n, len(self._inductors), len(self._vsources))
 
-    def _dc_state(self, i_now: np.ndarray, n: int, n_l: int, n_v: int) -> np.ndarray:
+    def _dc_state(
+        self,
+        i_now: np.ndarray,
+        n: int,
+        n_l: int,
+        n_v: int,
+        vsrc_vals: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Solve the DC network (caps open, inductors shorted).
+
+        The DC matrix depends only on the netlist, so its factorisation
+        is cached across calls (invalidated by any netlist change); only
+        the source-dependent right-hand side is rebuilt.
 
         Returns the full MNA state vector (node voltages then inductor
         currents then voltage-source currents) used to seed the transient.
         """
         size = n + n_l + n_v
-        rows: List[int] = []
-        cols: List[int] = []
-        vals: List[float] = []
+        if self._dc_rev != self._rev or self._dc_lu is None:
+            rows: List[int] = []
+            cols: List[int] = []
+            vals: List[float] = []
 
-        def stamp(i: Optional[int], j: Optional[int], v: float) -> None:
-            if i is not None and j is not None:
-                rows.append(i)
-                cols.append(j)
-                vals.append(v)
+            def stamp(i: Optional[int], j: Optional[int], v: float) -> None:
+                if i is not None and j is not None:
+                    rows.append(i)
+                    cols.append(j)
+                    vals.append(v)
 
-        for r in self._resistors:
-            g = 1.0 / r.ohms
-            a, b = self._idx(r.a), self._idx(r.b)
-            stamp(a, a, g), stamp(b, b, g)
-            stamp(a, b, -g), stamp(b, a, -g)
-        for k, l in enumerate(self._inductors):
-            row = n + k
-            a, b = self._idx(l.a), self._idx(l.b)
-            stamp(a, row, 1.0), stamp(b, row, -1.0)
-            stamp(row, a, 1.0), stamp(row, b, -1.0)  # v_a - v_b = 0 (short)
-        for k, v in enumerate(self._vsources):
-            row = n + n_l + k
-            p, q = self._idx(v.pos), self._idx(v.neg)
-            stamp(p, row, 1.0), stamp(q, row, -1.0)
-            stamp(row, p, 1.0), stamp(row, q, -1.0)
+            for r in self._resistors:
+                g = 1.0 / r.ohms
+                a, b = self._idx(r.a), self._idx(r.b)
+                stamp(a, a, g), stamp(b, b, g)
+                stamp(a, b, -g), stamp(b, a, -g)
+            for k, l in enumerate(self._inductors):
+                row = n + k
+                a, b = self._idx(l.a), self._idx(l.b)
+                stamp(a, row, 1.0), stamp(b, row, -1.0)
+                stamp(row, a, 1.0), stamp(row, b, -1.0)  # v_a - v_b = 0 (short)
+            for k, v in enumerate(self._vsources):
+                row = n + n_l + k
+                p, q = self._idx(v.pos), self._idx(v.neg)
+                stamp(p, row, 1.0), stamp(q, row, -1.0)
+                stamp(row, p, 1.0), stamp(row, q, -1.0)
+
+            matrix = sp.csc_matrix((vals, (rows, cols)), shape=(size, size))
+            try:
+                self._dc_lu = spla.splu(matrix)
+            except RuntimeError as exc:
+                raise SolverError(
+                    "singular DC network - check for floating nodes or "
+                    "current sources into open circuits",
+                    stage="dc",
+                    size=size,
+                ) from exc
+            self._dc_rev = self._rev
 
         rhs = np.zeros(size)
         for k, s in enumerate(self._isources):
@@ -604,19 +751,11 @@ class Circuit:
                 rhs[f] -= i_now[k]
             if t is not None:
                 rhs[t] += i_now[k]
-        for k, v in enumerate(self._vsources):
-            rhs[n + n_l + k] = v.volts
+        if vsrc_vals is None:
+            vsrc_vals = np.array([v.volts for v in self._vsources])
+        rhs[n + n_l:] = vsrc_vals
 
-        matrix = sp.csc_matrix((vals, (rows, cols)), shape=(size, size))
-        try:
-            x = spla.splu(matrix).solve(rhs)
-        except RuntimeError as exc:
-            raise SolverError(
-                "singular DC network - check for floating nodes or "
-                "current sources into open circuits",
-                stage="dc",
-                size=size,
-            ) from exc
+        x = self._dc_lu.solve(rhs)
         finite = np.isfinite(x)
         if not finite.all():
             idx = int(np.argmin(finite))

@@ -51,6 +51,50 @@ DOMAIN_DISTANCES = np.array(
     ]
 )
 
+#: Integer encoding of :class:`ActivityBin` used by the batched kernel
+#: path (`evaluate_batch`): index into the per-kernel lookup tables.
+BIN_INDEX: Dict[ActivityBin, int] = {ActivityBin.HIGH: 0, ActivityBin.LOW: 1}
+_BIN_ORDER = (ActivityBin.HIGH, ActivityBin.LOW)
+
+
+@dataclass(frozen=True)
+class _KernelTables:
+    """Array form of one :class:`PsnKernel` for batched evaluation."""
+
+    z_own: np.ndarray  # (2,) indexed by BIN_INDEX
+    z_cross: np.ndarray  # (2, 2) indexed by (BIN_INDEX[i], BIN_INDEX[j])
+    kappa: np.ndarray  # (4, 4) coupling discount, zero diagonal
+
+
+def _check_batch_inputs(
+    vdd: np.ndarray, i_core: np.ndarray, i_router: np.ndarray
+) -> None:
+    """Row-order input guards shared by the batched evaluation paths.
+
+    Raises the same exceptions as the scalar :meth:`PsnKernel.evaluate`
+    guards, attributed to the first offending row in batch order.
+    """
+    finite_vdd = np.isfinite(vdd)
+    if not finite_vdd.all():
+        d = int(np.argmin(finite_vdd))
+        raise SolverInputError(
+            "non-finite supply voltage in PSN kernel",
+            vdd=float(vdd[d]),
+            domain_row=d,
+        )
+    if (vdd <= 0).any():
+        raise ValueError("vdd must be positive")
+    bad = ~(np.isfinite(i_core) & np.isfinite(i_router))
+    if bad.any():
+        d, k = divmod(int(np.argmax(bad)), bad.shape[1])
+        raise SolverInputError(
+            "non-finite tile current in PSN kernel",
+            tile=int(k),
+            core_current_a=float(i_core[d, k]),
+            router_current_a=float(i_router[d, k]),
+            vdd=float(vdd[d]),
+        )
+
 
 @dataclass(frozen=True)
 class PsnKernel:
@@ -148,6 +192,71 @@ class PsnKernel:
             )
         return psn
 
+    def tables(self) -> _KernelTables:
+        """Array form of this kernel, built once and cached."""
+        cached = self.__dict__.get("_tables")
+        if cached is None:
+            cached = _KernelTables(
+                z_own=np.array([self.z_own[b] for b in _BIN_ORDER]),
+                z_cross=np.array(
+                    [
+                        [self.z_cross[(a, b)] for b in _BIN_ORDER]
+                        for a in _BIN_ORDER
+                    ]
+                ),
+                kappa=np.array(
+                    [
+                        [self.kappa(int(d)) for d in row]
+                        for row in DOMAIN_DISTANCES
+                    ]
+                ),
+            )
+            object.__setattr__(self, "_tables", cached)
+        return cached
+
+    def evaluate_batch(
+        self,
+        vdd: np.ndarray,
+        i_core: np.ndarray,
+        i_router: np.ndarray,
+        bins: np.ndarray,
+    ) -> np.ndarray:
+        """PSN percent for many domains at once (one matvec, no loops).
+
+        Args:
+            vdd: Shape (m,) - supply voltage per domain, volts.
+            i_core: Shape (m, 4) - core mean currents, amps.
+            i_router: Shape (m, 4) - router mean currents, amps.
+            bins: Shape (m, 4) - activity bins encoded via
+                :data:`BIN_INDEX`.
+
+        Returns:
+            Array of shape (m, 4): PSN as percent of Vdd per tile.
+            Matches :meth:`evaluate` row by row (same guard exceptions,
+            same values up to floating-point summation order).
+        """
+        vdd = np.asarray(vdd, dtype=float)
+        if i_core.shape != bins.shape or i_router.shape != bins.shape:
+            raise ValueError("current/bin arrays must share shape (m, 4)")
+        _check_batch_inputs(vdd, i_core, i_router)
+        t = self.tables()
+        own = t.z_own[bins] * i_core + self.z_own_router * i_router
+        # Victim/aggressor coupling: z_cross looked up per (bin_i, bin_j)
+        # pair, discounted by the hop-distance kappa (zero diagonal).
+        z_pair = t.z_cross[bins[:, :, None], bins[:, None, :]]
+        cross_core = np.einsum("mij,mj->mi", z_pair * t.kappa[None, :, :], i_core)
+        cross_router = self.z_cross_router * (i_router @ t.kappa)
+        psn = 100.0 * (own + cross_core + cross_router) / vdd[:, None]
+        finite = np.isfinite(psn)
+        if not finite.all():
+            d, k = divmod(int(np.argmin(finite.ravel())), psn.shape[1])
+            raise SolverError(
+                "non-finite PSN from kernel evaluation",
+                tile=int(k),
+                vdd=float(vdd[d]),
+            )
+        return psn
+
 
 @dataclass(frozen=True)
 class KernelLadder:
@@ -170,6 +279,38 @@ class KernelLadder:
         self, vdd: float, loads: Sequence[Optional[TileLoad]]
     ) -> np.ndarray:
         return self.kernel_for(vdd).evaluate(vdd, loads)
+
+    def evaluate_batch(
+        self,
+        vdds: np.ndarray,
+        i_core: np.ndarray,
+        i_router: np.ndarray,
+        bins: np.ndarray,
+    ) -> np.ndarray:
+        """Batched :meth:`evaluate` over many domains at once.
+
+        Rows are grouped by nearest fitted ladder level (same
+        tie-breaking as :meth:`kernel_for`: first level in ladder order
+        wins) and each group is evaluated with one matvec.
+        """
+        vdds = np.asarray(vdds, dtype=float)
+        levels = list(self.kernels)
+        out = np.empty((vdds.shape[0], 4))
+        if len(levels) == 1:
+            return self.kernels[levels[0]].evaluate_batch(
+                vdds, i_core, i_router, bins
+            )
+        # Guard the full batch in row order *before* grouping by level so
+        # a poisoned row is attributed exactly as the scalar path would.
+        _check_batch_inputs(vdds, i_core, i_router)
+        dist = np.abs(vdds[:, None] - np.array(levels)[None, :])
+        nearest = np.argmin(dist, axis=1)
+        for level_i in np.unique(nearest):
+            sel = nearest == level_i
+            out[sel] = self.kernels[levels[int(level_i)]].evaluate_batch(
+                vdds[sel], i_core[sel], i_router[sel], bins[sel]
+            )
+        return out
 
 
 def _kernel(
@@ -240,4 +381,29 @@ class FastPsnModel:
         return (
             self.peak_kernels.evaluate(vdd, loads),
             self.avg_kernels.evaluate(vdd, loads),
+        )
+
+    def chip_psn(
+        self,
+        vdds: np.ndarray,
+        i_core: np.ndarray,
+        i_router: np.ndarray,
+        bins: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`domain_psn` over all active domains at once.
+
+        Args:
+            vdds: Shape (m,) - supply voltage per domain.
+            i_core: Shape (m, 4) - core mean currents, amps.
+            i_router: Shape (m, 4) - router mean currents, amps.
+            bins: Shape (m, 4) - activity bins via
+                :data:`BIN_INDEX`.
+
+        Returns:
+            ``(peak, avg)`` arrays of shape (m, 4), matching m calls to
+            :meth:`domain_psn` row by row.
+        """
+        return (
+            self.peak_kernels.evaluate_batch(vdds, i_core, i_router, bins),
+            self.avg_kernels.evaluate_batch(vdds, i_core, i_router, bins),
         )

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -88,6 +88,8 @@ def guarded_transient(
     duration_s: float,
     dt_s: float,
     min_dt_scale: float = MIN_DT_SCALE,
+    isource_waveforms: Optional[Sequence] = None,
+    vsource_values: Optional[Sequence[float]] = None,
 ) -> Tuple[TransientResult, str, float]:
     """Transient solve with automatic integration-method fallback.
 
@@ -111,6 +113,12 @@ def guarded_transient(
         duration_s: Analysis window in seconds.
         dt_s: Requested timestep in seconds.
         min_dt_scale: Adaptive-halving floor as a fraction of ``dt_s``.
+        isource_waveforms: Optional per-call current-waveform overrides
+            passed through to :meth:`Circuit.transient`; lets one
+            factorised circuit serve many workloads.
+        vsource_values: Optional per-call voltage-source overrides (one
+            per source); lets one factorised circuit serve many supply
+            voltages.
 
     Returns:
         ``(result, method, dt_s)`` - the first successful solve plus the
@@ -137,9 +145,19 @@ def guarded_transient(
 
     attempts: List[str] = []
     last: SolverError = SolverError("no attempt ran")
+    # Forward the overrides only when set, so simple Circuit stand-ins
+    # (test doubles) need not grow the override parameters.
+    overrides = {}
+    if isource_waveforms is not None:
+        overrides["isource_waveforms"] = isource_waveforms
+    if vsource_values is not None:
+        overrides["vsource_values"] = vsource_values
     for method, dt_k in plan:
         try:
-            return circuit.transient(duration_s, dt_k, method=method), method, dt_k
+            result = circuit.transient(
+                duration_s, dt_k, method=method, **overrides
+            )
+            return result, method, dt_k
         except SolverInputError:
             raise
         except SolverError as exc:
@@ -212,6 +230,13 @@ class PsnTransientAnalysis:
         self._builder = DomainPdnBuilder(tech)
         self._window_s = window_s
         self._dt_s = dt_s
+        # The domain PDN topology is fixed per technology node - only
+        # the supply voltage and the tile current waveforms vary between
+        # analyses, and both enter the MNA system through the right-hand
+        # side.  Build the circuit once (unit supply, zero loads) and
+        # override sources per solve, so the sparse factorisation is
+        # shared across every (vdd, workload) this analyser sees.
+        self._circuit: Optional[Circuit] = None
 
     @property
     def tech(self) -> TechnologyNode:
@@ -240,10 +265,17 @@ class PsnTransientAnalysis:
             loads = apply_phase_convention(
                 loads, burst_scale=clock_burst_scale(vdd, self._tech)
             )
+        if vdd <= 0:
+            raise ValueError(f"vdd must be positive, got {vdd}")
         currents = [CurrentWaveform(load, vdd) for load in loads]
-        circuit = self._builder.build(vdd, currents)
+        if self._circuit is None:
+            self._circuit = self._builder.build(1.0, [0.0] * len(TILE_NODES))
         result, method, dt_s = guarded_transient(
-            circuit, self._window_s, self._dt_s
+            self._circuit,
+            self._window_s,
+            self._dt_s,
+            isource_waveforms=currents,
+            vsource_values=(vdd,),
         )
 
         peaks = np.empty(len(TILE_NODES))

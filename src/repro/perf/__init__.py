@@ -1,0 +1,21 @@
+"""Performance layer: parallel execution, solve caching, benchmarks.
+
+Three pillars, all built so that *faster never changes the answer*:
+
+* :mod:`repro.perf.parallel` - a deterministic spawn-context process
+  pool that fans :class:`~repro.harness.supervisor.CampaignCell` runs
+  across workers.  Cell outcomes depend only on the cell spec and
+  policy, so results merged in campaign order are byte-identical to a
+  serial run.
+* :mod:`repro.perf.cache` - a content-hashed on-disk cache for
+  calibration artifacts (fitted :class:`~repro.pdn.fast.KernelLadder`
+  pairs), keyed by technology parameters, solver version and sampling
+  configuration so any input change invalidates naturally.
+* :mod:`repro.perf.bench` - the pinned microbenchmark suite behind
+  ``python -m repro bench`` (see ``docs/performance.md``).
+
+Everything in this package is opt-in: the default serial code paths do
+not import it, and it imports the rest of the code base one-way.
+"""
+
+__all__ = ["bench", "cache", "parallel"]

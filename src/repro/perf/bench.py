@@ -1,0 +1,374 @@
+# parmlint: ok-file[wall-clock] - this module exists to measure wall time
+"""``python -m repro bench`` - the pinned microbenchmark suite.
+
+Times the hot paths this performance layer optimises and writes the
+results as ``BENCH_<rev>.json`` so regressions are caught by diffing
+against a committed baseline (see ``docs/performance.md``):
+
+* ``kernel_eval_scalar`` / ``kernel_eval_batch`` - the per-domain fast
+  PSN kernel, scalar loop vs the vectorised batch path;
+* ``transient_solve_cold`` / ``transient_solve_warm`` - one MNA
+  transient solve with a fresh factorisation vs the cached plan;
+* ``campaign_cell`` - one supervised campaign cell end to end;
+* ``e2e_sweep_serial`` / ``e2e_sweep_parallel`` - a small campaign
+  sweep run serially and with worker processes (plus the derived
+  speedup).
+
+Benchmark workloads are pinned (fixed seeds, sizes and cell specs), so
+two runs on the same machine measure the same work; only the wall time
+varies.  The regression gate compares per-benchmark times against a
+baseline JSON and fails on more than ``--gate-pct`` percent slowdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+#: Schema name / version of the benchmark result payload.
+BENCH_SCHEMA = "parm-bench"
+BENCH_VERSION = 1
+
+#: Regression gate: fail when a benchmark is this much slower than the
+#: baseline (percent).  Generous because CI machines are noisy.
+DEFAULT_GATE_PCT = 25.0
+
+
+def _rev() -> str:
+    """Short git revision for the output file name, or ``local``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        return out.stdout.strip() or "local"
+    except Exception:  # parmlint: ok[broad-except] - any git failure means "local"
+        return "local"
+
+
+def _time_best(fn: Callable[[], Any], repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _domain_batch(n_domains: int, seed: int = 7):
+    """Pinned random inputs for the kernel benchmarks."""
+    rng = np.random.default_rng(seed)
+    vdds = rng.choice([0.4, 0.5, 0.6, 0.7, 0.8], size=n_domains)
+    i_core = rng.uniform(0.0, 2.0, size=(n_domains, 4))
+    i_router = rng.uniform(0.0, 0.5, size=(n_domains, 4))
+    bins = rng.integers(0, 2, size=(n_domains, 4))
+    return vdds, i_core, i_router, bins
+
+
+def bench_kernel(quick: bool) -> Dict[str, Dict[str, Any]]:
+    from repro.pdn.fast import _BIN_ORDER, FastPsnModel
+    from repro.pdn.waveforms import TileLoad
+
+    model = FastPsnModel()
+    n_domains = 64 if quick else 256
+    repeats = 3 if quick else 10
+    vdds, i_core, i_router, bins = _domain_batch(n_domains)
+    load_rows = [
+        [
+            TileLoad(
+                float(i_core[m, k] * vdds[m]),
+                float(i_router[m, k] * vdds[m]),
+                _BIN_ORDER[bins[m, k]],
+            )
+            for k in range(4)
+        ]
+        for m in range(n_domains)
+    ]
+
+    def scalar() -> None:
+        for m in range(n_domains):
+            model.domain_psn(float(vdds[m]), load_rows[m])
+
+    def batch() -> None:
+        model.chip_psn(vdds, i_core, i_router, bins)
+
+    return {
+        "kernel_eval_scalar": {
+            "seconds": _time_best(scalar, repeats),
+            "meta": {"domains": n_domains},
+        },
+        "kernel_eval_batch": {
+            "seconds": _time_best(batch, repeats),
+            "meta": {"domains": n_domains},
+        },
+    }
+
+
+def bench_transient(quick: bool) -> Dict[str, Dict[str, Any]]:
+    from repro.chip.power import PowerModel
+    from repro.chip.technology import technology
+    from repro.pdn.transient import PsnTransientAnalysis
+    from repro.pdn.waveforms import ActivityBin, TileLoad
+
+    tech = technology("7nm")
+    power = PowerModel(tech)
+    window_s = 50e-9 if quick else 200e-9
+    repeats = 2 if quick else 5
+    vdd = 0.6
+    core = power.core_dynamic(0.7, vdd) + power.core_leakage(vdd)
+    router = power.router_dynamic(1.5, vdd) + power.router_leakage(vdd)
+    loads = [TileLoad(core, router, ActivityBin.HIGH) for _ in range(4)]
+
+    def cold() -> None:
+        PsnTransientAnalysis(tech, window_s=window_s).analyze(vdd, loads)
+
+    warm_analysis = PsnTransientAnalysis(tech, window_s=window_s)
+    warm_analysis.analyze(vdd, loads)  # prime the factorisation plan
+
+    def warm() -> None:
+        warm_analysis.analyze(vdd, loads)
+
+    meta = {"window_s": window_s}
+    return {
+        "transient_solve_cold": {
+            "seconds": _time_best(cold, repeats),
+            "meta": meta,
+        },
+        "transient_solve_warm": {
+            "seconds": _time_best(warm, repeats),
+            "meta": meta,
+        },
+    }
+
+
+def _bench_cells(quick: bool) -> List[Any]:
+    from repro.harness.supervisor import CampaignCell
+
+    # Sized so the full sweep carries enough per-cell work (~1 s) for
+    # worker parallelism to beat the spawn overhead on CI hardware.
+    n_apps = 2 if quick else 16
+    seeds = (1,) if quick else (1, 2)
+    intervals = (0.2, 0.1) if quick else (0.2, 0.15, 0.1, 0.05)
+    return [
+        CampaignCell(
+            framework=fw,
+            workload="mixed",
+            arrival_interval_s=interval,
+            n_apps=n_apps,
+            seeds=seeds,
+        )
+        for fw in ("HM+XY", "PARM+PANR")
+        for interval in intervals
+    ]
+
+
+def bench_campaign_cell(quick: bool) -> Dict[str, Dict[str, Any]]:
+    from repro.harness.supervisor import CellExecutor, SupervisorPolicy
+
+    cell = _bench_cells(quick)[0]
+    executor = CellExecutor(SupervisorPolicy())
+
+    def run() -> None:
+        outcome = executor.run_cell(cell)
+        if not outcome.completed:
+            raise RuntimeError(f"benchmark cell failed: {outcome.attempts}")
+
+    return {
+        "campaign_cell": {
+            "seconds": _time_best(run, 1 if quick else 2),
+            "meta": {"cell": cell.label, "n_apps": cell.n_apps},
+        }
+    }
+
+
+def bench_e2e_sweep(quick: bool, workers: int, tmp_dir: str) -> Dict[str, Dict[str, Any]]:
+    import os
+
+    from repro.harness.supervisor import CampaignSupervisor
+
+    cells = _bench_cells(quick)
+    times: Dict[str, float] = {}
+    for tag, n_workers in (("serial", 1), ("parallel", workers)):
+        checkpoint = os.path.join(tmp_dir, f"bench_{tag}.json")
+        supervisor = CampaignSupervisor(
+            cells, checkpoint, workers=n_workers
+        )
+        start = time.perf_counter()
+        outcome = supervisor.run()
+        times[tag] = time.perf_counter() - start
+        if outcome.failed_cells:
+            raise RuntimeError(
+                f"benchmark sweep had failed cells: "
+                f"{[o.cell.label for o in outcome.failed_cells]}"
+            )
+    return {
+        "e2e_sweep_serial": {
+            "seconds": times["serial"],
+            "meta": {"cells": len(cells), "workers": 1},
+        },
+        "e2e_sweep_parallel": {
+            "seconds": times["parallel"],
+            "meta": {"cells": len(cells), "workers": workers},
+        },
+    }
+
+
+def run_suite(
+    quick: bool = False,
+    workers: int = 4,
+    skip: Sequence[str] = (),
+) -> Dict[str, Any]:
+    """Run every benchmark and assemble the result payload."""
+    import tempfile
+
+    benchmarks: Dict[str, Dict[str, Any]] = {}
+    benchmarks.update(bench_kernel(quick))
+    benchmarks.update(bench_transient(quick))
+    if "campaign" not in skip:
+        benchmarks.update(bench_campaign_cell(quick))
+    if "e2e" not in skip:
+        with tempfile.TemporaryDirectory() as tmp_dir:
+            benchmarks.update(bench_e2e_sweep(quick, workers, tmp_dir))
+
+    derived: Dict[str, float] = {}
+    pairs = (
+        ("kernel_batch_speedup", "kernel_eval_scalar", "kernel_eval_batch"),
+        ("transient_warm_speedup", "transient_solve_cold", "transient_solve_warm"),
+        ("e2e_parallel_speedup", "e2e_sweep_serial", "e2e_sweep_parallel"),
+    )
+    for name, slow, fast in pairs:
+        if slow in benchmarks and fast in benchmarks:
+            denom = benchmarks[fast]["seconds"]
+            if denom > 0:
+                derived[name] = benchmarks[slow]["seconds"] / denom
+    return {
+        "schema": BENCH_SCHEMA,
+        "version": BENCH_VERSION,
+        "rev": _rev(),
+        "quick": quick,
+        "workers": workers,
+        "benchmarks": benchmarks,
+        "derived": derived,
+    }
+
+
+def gate_against_baseline(
+    result: Dict[str, Any],
+    baseline: Dict[str, Any],
+    gate_pct: float = DEFAULT_GATE_PCT,
+) -> List[str]:
+    """Names of benchmarks more than ``gate_pct`` % slower than baseline.
+
+    Benchmarks absent from either side are skipped (adding a benchmark
+    must not fail the gate), as are baselines recorded at a different
+    ``quick`` setting - the workloads would not be comparable.
+    """
+    if bool(baseline.get("quick")) != bool(result.get("quick")):
+        return []
+    failures = []
+    factor = 1.0 + gate_pct / 100.0
+    for name, entry in sorted(result["benchmarks"].items()):
+        base = baseline.get("benchmarks", {}).get(name)
+        if base is None or base.get("seconds", 0) <= 0:
+            continue
+        if entry["seconds"] > base["seconds"] * factor:
+            failures.append(
+                f"{name}: {entry['seconds']:.4f}s vs baseline "
+                f"{base['seconds']:.4f}s (> {gate_pct:.0f}% slower)"
+            )
+    return failures
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description=(
+            "Run the pinned microbenchmark suite "
+            "(see docs/performance.md)"
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller pinned workloads (CI smoke; ~1 min)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker processes for the parallel sweep (default: 4)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="result file (default: BENCH_<rev>.json in the cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="baseline BENCH_*.json to gate against (exit 1 on regression)",
+    )
+    parser.add_argument(
+        "--gate-pct",
+        type=float,
+        default=DEFAULT_GATE_PCT,
+        metavar="PCT",
+        help="regression threshold in percent (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--skip",
+        nargs="+",
+        default=[],
+        choices=["campaign", "e2e"],
+        metavar="SUITE",
+        help="skip the slow suites (campaign, e2e)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.workers < 1:
+        print("bench error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    result = run_suite(
+        quick=args.quick, workers=args.workers, skip=tuple(args.skip)
+    )
+    output = args.output or f"BENCH_{result['rev']}.json"
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {output}")
+    for name, entry in sorted(result["benchmarks"].items()):
+        print(f"  {name:<24} {entry['seconds']:.4f} s")
+    for name, value in sorted(result["derived"].items()):
+        print(f"  {name:<24} {value:.2f}x")
+
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        failures = gate_against_baseline(
+            result, baseline, gate_pct=args.gate_pct
+        )
+        if failures:
+            print("benchmark regressions:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"gate passed vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,153 @@
+"""Deterministic process-pool execution of campaign cells.
+
+Fans pending :class:`~repro.harness.supervisor.CampaignCell` runs across
+``spawn``-context worker processes while preserving every guarantee of
+the serial :class:`~repro.harness.supervisor.CampaignSupervisor` loop:
+
+* **determinism** - a cell's outcome depends only on
+  ``(cell, policy, cell_runner)``: the retry backoff schedule is seeded
+  from the cell's content hash and no wall-clock data is recorded, so
+  the same cell produces the same outcome in any worker, in any order.
+  Results are returned merged back into the caller's cell order.
+* **watchdog / retry / taxonomy semantics** - each worker process owns
+  one :class:`~repro.harness.supervisor.CellExecutor`, the exact unit
+  the serial loop runs, so deadlines, retries and error classification
+  behave identically.  The default runner's shared chip /
+  profile-library cache is built once per worker and rebuilt after a
+  timeout, mirroring the serial discard-on-timeout rule per process.
+* **crash safety** - the parent invokes ``on_outcome`` as each cell
+  completes, so the supervisor checkpoints progress continuously; a
+  kill loses at most the cells in flight, and the checkpoint payload is
+  key-sorted, so the final bytes match a serial run's exactly.
+
+The ``spawn`` start method is mandatory (see :data:`START_METHOD`): it
+gives every worker a fresh interpreter with no inherited locks, RNG
+state or solver caches, which both avoids fork-after-thread hazards
+(the supervisor's watchdog uses threads) and keeps workers identical to
+a fresh serial process.  parmlint's ``process-pool`` rule enforces that
+no other module spawns workers behind the supervisor's back.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from multiprocessing import get_context
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.harness.errors import ConfigError
+from repro.harness.supervisor import (
+    CampaignCell,
+    CellExecutor,
+    CellOutcome,
+    CellRunner,
+    SupervisorPolicy,
+)
+
+#: Multiprocessing start method.  ``spawn`` starts each worker from a
+#: fresh interpreter - deterministic, thread-safe, and identical across
+#: platforms - where ``fork`` would inherit the parent's entire heap
+#: (solver caches, RNG state, held locks) into every worker.
+START_METHOD = "spawn"
+
+#: Per-process cell executor, built once by :func:`_worker_init` when
+#: the pool starts and reused for every cell the worker receives.
+_EXECUTOR: Optional[CellExecutor] = None
+
+
+def _worker_init(
+    policy: SupervisorPolicy, cell_runner: Optional[CellRunner]
+) -> None:
+    """Build this worker process's cell executor (pool initializer)."""
+    global _EXECUTOR
+    _EXECUTOR = CellExecutor(policy, cell_runner=cell_runner)
+
+
+def _pool_run_cell(cell: CampaignCell) -> CellOutcome:
+    """Run one cell on this worker's executor (the pool task)."""
+    if _EXECUTOR is None:  # pragma: no cover - initializer always runs
+        raise RuntimeError("worker pool was not initialised")
+    return _EXECUTOR.run_cell(cell)
+
+
+def _require_picklable(cell_runner: CellRunner) -> None:
+    try:
+        pickle.dumps(cell_runner)
+    except Exception as exc:
+        raise ConfigError(
+            "cell_runner is not picklable; parallel campaigns need a "
+            "module-level callable (or None for the default runner)",
+            runner=repr(cell_runner),
+            error=str(exc),
+        ) from exc
+
+
+def run_cells(
+    cells: Sequence[CampaignCell],
+    policy: SupervisorPolicy,
+    workers: int,
+    cell_runner: Optional[CellRunner] = None,
+    on_outcome: Optional[Callable[[CellOutcome], None]] = None,
+) -> List[CellOutcome]:
+    """Run ``cells`` across ``workers`` processes; results in cell order.
+
+    Args:
+        cells: Cells to execute (keys must be unique).
+        policy: Retry/backoff/watchdog limits, applied inside each
+            worker exactly as in a serial run.
+        workers: Worker process count; capped at ``len(cells)``.  ``1``
+            runs in-process (no pool) with identical semantics.
+        cell_runner: Optional runner override.  Must be picklable (a
+            module-level callable) because it is shipped to spawned
+            workers; ``None`` builds the default runner lazily in each
+            worker.
+        on_outcome: Invoked in the parent as each cell completes -
+            *completion* order, which is nondeterministic; callers that
+            need determinism (checkpoints, tables) must key by
+            ``outcome.cell.key``, which the supervisor's sorted-key
+            serialisation already does.
+
+    Returns:
+        One :class:`CellOutcome` per cell, in the input cell order
+        regardless of completion order.
+
+    Raises:
+        ConfigError: on ``workers < 1`` or an unpicklable runner.
+    """
+    cells = list(cells)
+    if workers < 1:
+        raise ConfigError("workers must be >= 1", workers=workers)
+    if workers == 1 or len(cells) <= 1:
+        executor = CellExecutor(policy, cell_runner=cell_runner)
+        outcomes = []
+        for cell in cells:
+            outcome = executor.run_cell(cell)
+            if on_outcome is not None:
+                on_outcome(outcome)
+            outcomes.append(outcome)
+        return outcomes
+    if cell_runner is not None:
+        _require_picklable(cell_runner)
+
+    by_key: Dict[str, CellOutcome] = {}
+    pool = ProcessPoolExecutor(  # parmlint: ok[process-pool]
+        max_workers=min(workers, len(cells)),
+        mp_context=get_context(START_METHOD),
+        initializer=_worker_init,
+        initargs=(policy, cell_runner),
+    )
+    try:
+        pending = {pool.submit(_pool_run_cell, cell) for cell in cells}
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                outcome = future.result()
+                by_key[outcome.cell.key] = outcome
+                if on_outcome is not None:
+                    on_outcome(outcome)
+    finally:
+        # Never block teardown on in-flight cells: on an error (or a
+        # parent interrupt) the queued work is cancelled and the pool is
+        # left to drain in the background.
+        pool.shutdown(wait=False, cancel_futures=True)
+    return [by_key[cell.key] for cell in cells]

@@ -50,9 +50,9 @@ from repro.noc.analytical import AnalyticalNocModel, Flow
 from repro.noc.routing.base import RoutingAlgorithm
 from repro.noc.topology import MeshTopology
 from repro.pdn.emergencies import VoltageEmergencyPolicy
-from repro.pdn.fast import FastPsnModel
+from repro.pdn.fast import BIN_INDEX, FastPsnModel
 from repro.pdn.sensors import SensorNetwork
-from repro.pdn.waveforms import ActivityBin, TileLoad
+from repro.pdn.waveforms import ActivityBin
 from repro.runtime.checkpoint import CheckpointPolicy
 from repro.runtime.metrics import AppRecord, RunMetrics
 from repro.runtime.migration import (
@@ -88,6 +88,49 @@ class _RunningApp:
     #: One-off penalty (rollback + restart transfer) folded into the
     #: next execution estimate.
     pending_penalty_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class SimulatorContext:
+    """Chip-derived immutables shared across simulators.
+
+    Building a :class:`RuntimeSimulator` touches several structures that
+    depend only on the chip description - the mesh topology (and its
+    hop-distance tables), the fitted PSN kernel ladders, the performance
+    model and the domain->tiles map.  A sweep that runs many seeds (or
+    many framework combinations) over the same chip used to rebuild all
+    of them per simulator; constructing the context once and passing it
+    to every simulator hoists that warm-up out of the per-seed loop.
+
+    The context is immutable and holds no per-run state, so sharing one
+    instance across sequential or concurrent simulations of the same
+    chip is safe.
+    """
+
+    chip: ChipDescription
+    topology: MeshTopology
+    psn_model: FastPsnModel
+    performance: PerformanceModel
+    #: Per power domain, the tuple of member tile ids (row-major).
+    domain_tiles: Tuple[Tuple[int, ...], ...]
+
+    @classmethod
+    def for_chip(
+        cls,
+        chip: ChipDescription,
+        psn_model: Optional[FastPsnModel] = None,
+    ) -> "SimulatorContext":
+        """Build the shared immutables for one chip description."""
+        return cls(
+            chip=chip,
+            topology=MeshTopology(chip.mesh),
+            psn_model=psn_model if psn_model is not None else FastPsnModel(),
+            performance=PerformanceModel(chip.power_model),
+            domain_tiles=tuple(
+                tuple(chip.domains.tiles_of(d))
+                for d in range(chip.domain_count)
+            ),
+        )
 
 
 @dataclass
@@ -131,6 +174,10 @@ class RuntimeSimulator:
             scheduling event (for time-series analysis and plotting).
         seed: RNG seed for VE sampling.
         max_sim_time_s: Safety horizon; the run aborts past it.
+        context: Pre-built chip-derived immutables
+            (:class:`SimulatorContext`); pass one context to many
+            simulators of the same chip to skip per-instance warm-up.
+            Built on the fly when omitted.
     """
 
     def __init__(
@@ -148,6 +195,7 @@ class RuntimeSimulator:
         seed: int = 0,
         max_sim_time_s: float = 600.0,
         record_trace: bool = False,
+        context: Optional[SimulatorContext] = None,
     ):
         self._chip = chip
         self._manager = manager
@@ -164,9 +212,17 @@ class RuntimeSimulator:
         self._record_trace = record_trace
         self._rng = np.random.default_rng(seed)
         self._max_time = max_sim_time_s
-        self._noc = AnalyticalNocModel(MeshTopology(chip.mesh), routing)
-        self._psn_model = FastPsnModel()
-        self._performance = PerformanceModel(chip.power_model)
+        if context is None:
+            context = SimulatorContext.for_chip(chip)
+        elif context.chip is not chip:
+            raise ValueError(
+                "SimulatorContext was built for a different chip description"
+            )
+        self._context = context
+        self._noc = AnalyticalNocModel(context.topology, routing)
+        self._psn_model = context.psn_model
+        self._performance = context.performance
+        self._domain_tiles = context.domain_tiles
 
     # ------------------------------------------------------------------
 
@@ -717,7 +773,13 @@ class RuntimeSimulator:
         running: Dict[int, _RunningApp],
         report,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Per-tile peak/avg PSN from occupancy + router activity."""
+        """Per-tile peak/avg PSN from occupancy + router activity.
+
+        Tile loads are gathered per domain into flat arrays and the
+        kernel ladders are evaluated for *all* active domains with one
+        batched matvec (:meth:`FastPsnModel.chip_psn`) instead of a
+        Python loop per domain and tile.
+        """
         chip = self._chip
         power_model = chip.power_model
         n = chip.tile_count
@@ -727,8 +789,14 @@ class RuntimeSimulator:
             aid: app.arrival.profile.graph(app.decision.dop)
             for aid, app in running.items()
         }
+        low_bin = BIN_INDEX[ActivityBin.LOW]
+        dom_vdds: List[float] = []
+        dom_tiles: List[Tuple[int, ...]] = []
+        core_w: List[List[float]] = []
+        router_w: List[List[float]] = []
+        bin_rows: List[List[int]] = []
         for domain in range(chip.domain_count):
-            tiles = chip.domains.tiles_of(domain)
+            tiles = self._domain_tiles[domain]
             vdd = state.domain_vdd(domain)
             # A 5-port router physically switches at most ~4 flits per
             # cycle; clamp the analytical load before converting to power.
@@ -742,29 +810,42 @@ class RuntimeSimulator:
                 # Idle domain carrying through-traffic: the NoC keeps its
                 # routers powered at the lowest DVS step.
                 vdd = chip.vdd_ladder.lowest
-            loads = []
-            for tile, r_rate in zip(tiles, router_rates):
+            cores = [0.0, 0.0, 0.0, 0.0]
+            routers = [0.0, 0.0, 0.0, 0.0]
+            bins = [low_bin, low_bin, low_bin, low_bin]
+            for i, (tile, r_rate) in enumerate(zip(tiles, router_rates)):
                 occ = state.occupant(tile)
                 router_power = (
                     power_model.router_dynamic(r_rate, vdd)
                     + power_model.router_leakage(vdd)
                 )
                 if occ is None:
-                    loads.append(
-                        TileLoad(0.0, router_power if r_rate > 0 else 0.0,
-                                 ActivityBin.LOW)
-                    )
+                    if r_rate > 0:
+                        routers[i] = router_power
                     continue
                 app = running[occ.app_id]
                 task = graphs[occ.app_id].task(occ.task_id)
-                core_power = power_model.core_dynamic(
+                cores[i] = power_model.core_dynamic(
                     task.activity_factor, app.decision.vdd
                 ) + power_model.core_leakage(app.decision.vdd)
-                loads.append(
-                    TileLoad(core_power, router_power, task.activity_bin)
-                )
-            d_peak, d_avg = self._psn_model.domain_psn(vdd, loads)
-            for i, tile in enumerate(tiles):
-                peak[tile] = d_peak[i]
-                avg[tile] = d_avg[i]
+                routers[i] = router_power
+                bins[i] = BIN_INDEX[task.activity_bin]
+            dom_vdds.append(vdd)
+            dom_tiles.append(tiles)
+            core_w.append(cores)
+            router_w.append(routers)
+            bin_rows.append(bins)
+        if not dom_vdds:
+            return peak, avg
+        vdd_arr = np.array(dom_vdds)
+        # Kernel inputs are mean currents: power / Vdd (what the scalar
+        # path computes inside PsnKernel.evaluate from each TileLoad).
+        i_core = np.array(core_w) / vdd_arr[:, None]
+        i_router = np.array(router_w) / vdd_arr[:, None]
+        d_peak, d_avg = self._psn_model.chip_psn(
+            vdd_arr, i_core, i_router, np.array(bin_rows)
+        )
+        tiles_arr = np.array(dom_tiles)
+        peak[tiles_arr] = d_peak
+        avg[tiles_arr] = d_avg
         return peak, avg

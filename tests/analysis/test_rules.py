@@ -14,6 +14,7 @@ from repro.analysis.rules import (
     FloatEqRule,
     ImportCycleRule,
     MutableDefaultRule,
+    ProcessPoolRule,
     SeededRngRule,
     SetIterationRule,
     SilentExceptRule,
@@ -483,6 +484,93 @@ class TestSetIteration:
             dead = {1, 2}
             if tile in dead:
                 skip()
+            """,
+        )
+        assert findings == []
+
+
+class TestProcessPool:
+    def test_from_import_executor_fires(self):
+        findings = run_rule(
+            ProcessPoolRule(),
+            "from concurrent.futures import ProcessPoolExecutor\n",
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "process-pool"
+        assert "repro.perf.parallel" in findings[0].message
+
+    def test_futures_attribute_call_fires(self):
+        findings = run_rule(
+            ProcessPoolRule(),
+            """
+            import concurrent.futures
+            pool = concurrent.futures.ProcessPoolExecutor(max_workers=4)
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].line == 3
+
+    def test_multiprocessing_pool_fires(self):
+        findings = run_rule(
+            ProcessPoolRule(),
+            """
+            import multiprocessing
+            with multiprocessing.Pool(4) as pool:
+                pool.map(f, xs)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_get_context_fires(self):
+        findings = run_rule(
+            ProcessPoolRule(),
+            """
+            import multiprocessing
+            ctx = multiprocessing.get_context("fork")
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_os_fork_fires(self):
+        findings = run_rule(
+            ProcessPoolRule(),
+            """
+            import os
+            pid = os.fork()
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_thread_pool_ok(self):
+        findings = run_rule(
+            ProcessPoolRule(),
+            """
+            from concurrent.futures import ThreadPoolExecutor
+            import os
+            cwd = os.getcwd()
+            """,
+        )
+        assert findings == []
+
+    def test_repro_perf_exempt(self):
+        findings = run_rule(
+            ProcessPoolRule(),
+            """
+            from concurrent.futures import ProcessPoolExecutor
+            import multiprocessing
+            ctx = multiprocessing.get_context("spawn")
+            """,
+            module="repro.perf.parallel",
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        findings = run_rule(
+            ProcessPoolRule(),
+            """
+            from concurrent.futures import (  # parmlint: ok[process-pool]
+                ProcessPoolExecutor,
+            )
             """,
         )
         assert findings == []

@@ -1,0 +1,121 @@
+"""Tests for the on-disk calibration cache: hits skip the transient
+fits, key changes invalidate, and corruption degrades to a miss."""
+
+import json
+
+import pytest
+
+import repro.pdn.calibrate as calibrate_module
+from repro.chip.technology import technology
+from repro.pdn.calibrate import CalibrationResult
+from repro.pdn.fast import KernelLadder, PsnKernel
+from repro.pdn.waveforms import ActivityBin
+from repro.perf.cache import (
+    _ladder_to_json,
+    cache_path,
+    calibration_key,
+    cached_fit_kernels,
+)
+
+GRID = (0.7, 0.8)
+
+
+def fake_fit_result():
+    kernel = PsnKernel(
+        z_own={ActivityBin.HIGH: 0.11, ActivityBin.LOW: 0.07},
+        z_cross={
+            (ActivityBin.HIGH, ActivityBin.HIGH): 0.031,
+            (ActivityBin.HIGH, ActivityBin.LOW): 0.022,
+            (ActivityBin.LOW, ActivityBin.HIGH): 0.022,
+            (ActivityBin.LOW, ActivityBin.LOW): 0.013,
+        },
+        z_own_router=0.052,
+        z_cross_router=0.009,
+        kappa2=0.75,
+    )
+    ladder = KernelLadder({0.6: kernel, 0.8: kernel})
+    return CalibrationResult(
+        peak_kernels=ladder,
+        avg_kernels=ladder,
+        peak_rms_error_pct=1.5,
+        avg_rms_error_pct=0.8,
+        samples=(),
+    )
+
+
+@pytest.fixture
+def counting_fit(monkeypatch):
+    """Replace the expensive fit with a counted deterministic stand-in."""
+    calls = []
+
+    def fake_fit(tech=None, samples=None, kappa2_grid=(), **kwargs):
+        calls.append((tech, tuple(kappa2_grid), tuple(sorted(kwargs))))
+        return fake_fit_result()
+
+    monkeypatch.setattr(calibrate_module, "fit_kernels", fake_fit)
+    return calls
+
+
+class TestCalibrationKey:
+    def test_explicit_defaults_hash_like_no_args(self):
+        tech = technology("7nm")
+        assert calibration_key(tech, GRID, {}) == calibration_key(
+            tech, GRID, {"vdds": (0.4, 0.6, 0.8), "seed": 2018}
+        )
+
+    def test_key_tracks_every_input(self):
+        tech = technology("7nm")
+        base = calibration_key(tech, GRID, {})
+        assert calibration_key(technology("14nm"), GRID, {}) != base
+        assert calibration_key(tech, (0.5, 0.9), {}) != base
+        assert calibration_key(tech, GRID, {"seed": 7}) != base
+
+    def test_unknown_sample_kwarg_rejected(self):
+        with pytest.raises(ValueError, match="unknown sample kwargs"):
+            calibration_key(technology("7nm"), GRID, {"typo": 1})
+
+
+class TestCachedFitKernels:
+    def test_hit_skips_the_fit_and_round_trips(self, tmp_path, counting_fit):
+        cache_dir = str(tmp_path)
+        first = cached_fit_kernels(cache_dir=cache_dir, kappa2_grid=GRID)
+        second = cached_fit_kernels(cache_dir=cache_dir, kappa2_grid=GRID)
+        assert len(counting_fit) == 1
+        assert second.samples == ()
+        assert _ladder_to_json(second.peak_kernels) == _ladder_to_json(
+            first.peak_kernels
+        )
+        assert second.peak_rms_error_pct == first.peak_rms_error_pct
+        assert second.avg_rms_error_pct == first.avg_rms_error_pct
+
+    def test_key_change_invalidates(self, tmp_path, counting_fit):
+        cache_dir = str(tmp_path)
+        cached_fit_kernels(cache_dir=cache_dir, kappa2_grid=GRID)
+        cached_fit_kernels(
+            cache_dir=cache_dir, kappa2_grid=GRID, tech=technology("14nm")
+        )
+        cached_fit_kernels(cache_dir=cache_dir, kappa2_grid=GRID, seed=7)
+        assert len(counting_fit) == 3
+
+    def test_corrupt_entry_is_a_miss_and_heals(self, tmp_path, counting_fit):
+        cache_dir = str(tmp_path)
+        cached_fit_kernels(cache_dir=cache_dir, kappa2_grid=GRID)
+        key = calibration_key(technology("7nm"), GRID, {})
+        path = cache_path(cache_dir, key)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        cached_fit_kernels(cache_dir=cache_dir, kappa2_grid=GRID)
+        assert len(counting_fit) == 2
+        # The refit overwrote the damaged entry: next call hits again.
+        cached_fit_kernels(cache_dir=cache_dir, kappa2_grid=GRID)
+        assert len(counting_fit) == 2
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle)["schema"] == "parm-calibration-cache"
+
+    def test_env_var_selects_cache_dir(self, tmp_path, counting_fit,
+                                       monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        cached_fit_kernels(kappa2_grid=GRID)
+        cached_fit_kernels(kappa2_grid=GRID)
+        assert len(counting_fit) == 1
+        assert (tmp_path / "env").is_dir()

@@ -1,0 +1,132 @@
+"""Tests for the deterministic process pool: byte-identical merges,
+crash-safe resume under workers, and pickling guards.
+
+The toy runner lives at module level so ``spawn`` workers can unpickle
+it (pytest's rootdir sys.path is inherited by the children).
+"""
+
+import json
+
+import pytest
+
+from repro.harness.errors import ConfigError
+from repro.harness.supervisor import (
+    CampaignCell,
+    CampaignSupervisor,
+    SupervisorPolicy,
+)
+from repro.perf.parallel import run_cells
+
+
+def toy_runner(c):
+    """Deterministic module-level cell runner (picklable for spawn)."""
+    return {
+        "cell": c.spec(),
+        "key": c.key,
+        "framework": c.framework,
+        "workload": c.workload,
+        "arrival_interval_s": c.arrival_interval_s,
+        "total_time_s": 1.0 + c.arrival_interval_s,
+    }
+
+
+def cells(n=4):
+    return [
+        CampaignCell(
+            framework=fw,
+            workload="mixed",
+            arrival_interval_s=interval,
+            n_apps=2,
+            seeds=(1,),
+        )
+        for fw in ("HM+XY", "PARM+PANR")
+        for interval in (0.2, 0.1)
+    ][:n]
+
+
+def read_bytes(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+class TestRunCells:
+    def test_single_worker_runs_in_process(self):
+        outcomes = run_cells(cells(), SupervisorPolicy(), workers=1,
+                             cell_runner=toy_runner)
+        assert [o.cell.key for o in outcomes] == [c.key for c in cells()]
+        assert all(o.completed for o in outcomes)
+
+    def test_pool_preserves_input_order(self):
+        outcomes = run_cells(cells(), SupervisorPolicy(), workers=4,
+                             cell_runner=toy_runner)
+        assert [o.cell.key for o in outcomes] == [c.key for c in cells()]
+        assert all(o.completed for o in outcomes)
+
+    def test_unpicklable_runner_rejected(self):
+        with pytest.raises(ConfigError, match="not picklable"):
+            run_cells(cells(), SupervisorPolicy(), workers=4,
+                      cell_runner=lambda c: toy_runner(c))
+
+    def test_on_outcome_sees_every_cell(self):
+        seen = []
+        run_cells(cells(), SupervisorPolicy(), workers=4,
+                  cell_runner=toy_runner, on_outcome=lambda o: seen.append(o))
+        assert sorted(o.cell.key for o in seen) == sorted(
+            c.key for c in cells()
+        )
+
+
+class TestParallelSupervisor:
+    def test_workers_validated(self, tmp_path):
+        with pytest.raises(ConfigError, match="workers"):
+            CampaignSupervisor(
+                cells(), str(tmp_path / "cp.json"), workers=0
+            )
+
+    def test_parallel_run_is_byte_identical_to_serial(self, tmp_path):
+        serial_cp = str(tmp_path / "serial.json")
+        parallel_cp = str(tmp_path / "parallel.json")
+        serial = CampaignSupervisor(
+            cells(), serial_cp, cell_runner=toy_runner, workers=1
+        ).run()
+        parallel = CampaignSupervisor(
+            cells(), parallel_cp, cell_runner=toy_runner, workers=4
+        ).run()
+        assert parallel.table_json() == serial.table_json()
+        assert read_bytes(parallel_cp) == read_bytes(serial_cp)
+
+    def test_kill_midrun_then_parallel_resume_matches_serial(self, tmp_path):
+        serial_cp = str(tmp_path / "serial.json")
+        CampaignSupervisor(
+            cells(), serial_cp, cell_runner=toy_runner, workers=1
+        ).run()
+
+        crashed_cp = str(tmp_path / "crashed.json")
+        victim = CampaignSupervisor(
+            cells(), crashed_cp, cell_runner=toy_runner, workers=4
+        )
+        original_save = victim._save_state
+        saves = []
+
+        def crashing_save(state):
+            if len(saves) >= 2:
+                raise RuntimeError("injected mid-campaign crash")
+            saves.append(len(state))
+            original_save(state)
+
+        victim._save_state = crashing_save
+        with pytest.raises(RuntimeError, match="injected"):
+            victim.run()
+
+        # The checkpoint survived the crash with a strict subset of
+        # cells; a parallel resume finishes the rest and the final
+        # bytes match the never-crashed serial run exactly.
+        with open(crashed_cp, "r", encoding="utf-8") as handle:
+            partial = json.load(handle)["payload"]["cells"]
+        assert 0 < len(partial) < len(cells())
+
+        resumed = CampaignSupervisor(
+            cells(), crashed_cp, cell_runner=toy_runner, workers=4
+        ).run(resume=True)
+        assert all(o.completed for o in resumed.outcomes)
+        assert read_bytes(crashed_cp) == read_bytes(serial_cp)
