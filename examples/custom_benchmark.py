@@ -19,7 +19,8 @@ import numpy as np
 from repro.apps.profiles import AppKind, BenchmarkSpec, build_profile
 from repro.chip import default_chip
 from repro.core import ParmManager
-from repro.noc.cycle import CycleNocSimulator, TrafficFlow
+from repro.noc import ArrayNocEngine
+from repro.noc.cycle import TrafficFlow
 from repro.noc.routing import make_routing
 from repro.pdn.fast import FastPsnModel
 from repro.pdn.waveforms import TileLoad
@@ -93,7 +94,7 @@ def main():
     print(f"\nReplaying {len(flows)} flows on the cycle-accurate NoC "
           f"(10000 cycles):")
     for routing_name in ("xy", "panr"):
-        sim = CycleNocSimulator(
+        sim = ArrayNocEngine(
             chip.mesh, make_routing(routing_name), psn_pct=psn, seed=1
         )
         stats = sim.run(flows, 10000)

@@ -13,6 +13,8 @@ Usage::
                                           # (see docs/robustness.md)
     python -m repro bench [--quick]       # pinned microbenchmarks
                                           # (see docs/performance.md)
+    python -m repro routing --workers 4   # routing-policy sweep on the
+                                          # array NoC engine
 """
 
 from __future__ import annotations
@@ -41,6 +43,10 @@ def main(argv=None) -> int:
         from repro.perf.bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "routing":
+        from repro.exp.routing_sweep import main as routing_main
+
+        return routing_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the PARM (DAC 2018) evaluation figures.",
@@ -57,7 +63,7 @@ def main(argv=None) -> int:
         metavar="SECTION",
         help=(
             "subset of: fig1 fig3a fig3b fig67 fig8 overhead ablations "
-            "extensions faults"
+            "extensions faults routing"
         ),
     )
     parser.add_argument(

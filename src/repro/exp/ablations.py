@@ -28,7 +28,8 @@ from repro.core.base import MappingDecision, ResourceManager
 from repro.core.clustering import cluster_tasks
 from repro.core.placement import place_clusters
 from repro.core.selection import ParmManager
-from repro.noc.cycle import CycleNocSimulator, TrafficFlow
+from repro.noc.cycle import TrafficFlow
+from repro.noc.engine import ArrayNocEngine
 from repro.noc.routing import PanrRouting, make_routing
 from repro.runtime.simulator import RuntimeSimulator
 from repro.runtime.state import ChipState
@@ -75,7 +76,7 @@ def buffer_threshold_sweep(
     ]
     rows = []
     for threshold in thresholds:
-        sim = CycleNocSimulator(
+        sim = ArrayNocEngine(
             mesh,
             PanrRouting(buffer_threshold=threshold),
             psn_pct=psn,

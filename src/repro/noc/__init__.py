@@ -17,6 +17,10 @@ Two network models share these policies: a flit-level cycle simulator
 threshold ablation, and a flow-based analytical model
 (:mod:`repro.noc.analytical`) fast enough to sit inside the runtime loop
 while preserving the routing-policy-dependent link loads and latencies.
+The cycle model has two interchangeable implementations: the readable
+object-per-flit :class:`~repro.noc.cycle.CycleNocSimulator` reference
+and the structure-of-arrays :class:`~repro.noc.engine.ArrayNocEngine`
+fast path, pinned flit-for-flit identical by the equivalence suite.
 """
 
 from repro.noc.topology import Direction, MeshTopology
@@ -30,6 +34,7 @@ from repro.noc.routing import (
     make_routing,
 )
 from repro.noc.analytical import AnalyticalNocModel, Flow, NocLoadReport
+from repro.noc.engine import ArrayNocEngine
 from repro.noc.overhead import panr_router_overhead, OverheadReport
 
 __all__ = [
@@ -43,6 +48,7 @@ __all__ = [
     "IconRouting",
     "make_routing",
     "AnalyticalNocModel",
+    "ArrayNocEngine",
     "Flow",
     "NocLoadReport",
     "panr_router_overhead",

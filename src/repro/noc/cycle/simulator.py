@@ -59,7 +59,8 @@ class NocSimStats:
     packets_delivered: int
     flits_delivered: int
     packet_latencies: List[int] = field(default_factory=list)
-    router_flits_per_cycle: np.ndarray = None
+    #: Per-router forwarded-flit rate; ``None`` until a run fills it in.
+    router_flits_per_cycle: Optional[np.ndarray] = None
 
     @property
     def avg_packet_latency(self) -> float:
@@ -72,6 +73,13 @@ class NocSimStats:
         if not self.packet_latencies:
             return 0.0
         return float(np.percentile(self.packet_latencies, 95))
+
+    @property
+    def peak_router_flits_per_cycle(self) -> float:
+        """Largest per-router forwarding rate (0.0 before any run)."""
+        if self.router_flits_per_cycle is None:
+            return 0.0
+        return float(np.max(self.router_flits_per_cycle))
 
     @property
     def throughput_flits_per_cycle(self) -> float:
@@ -117,6 +125,18 @@ class CycleNocSimulator:
     @property
     def topology(self) -> MeshTopology:
         return self._topo
+
+    def set_psn(self, psn_pct: np.ndarray) -> None:
+        """Replace the per-tile PSN sensor readings mid-run.
+
+        PSN-aware policies see the new readings from the next routing
+        decision on, mirroring a sensor-network refresh between control
+        epochs.
+        """
+        psn = np.asarray(psn_pct)
+        if psn.shape != (self._topo.mesh.tile_count,):
+            raise ValueError("psn_pct must have one entry per tile")
+        self._psn = psn
 
     def run(self, flows: Sequence[TrafficFlow], cycles: int) -> NocSimStats:
         """Simulate ``cycles`` cycles of the given offered traffic."""

@@ -60,6 +60,16 @@ class RoutingAlgorithm(abc.ABC):
     #: Evaluation name (e.g. ``"XY"``), used in experiment tables.
     name: str = "base"
 
+    #: Whether :meth:`select` ignores the :class:`RoutingContext`, i.e.
+    #: the chosen direction is a pure function of ``(cur, dst)``.  The
+    #: array cycle engine precomputes a per-(tile, destination) route
+    #: table for such policies instead of calling :meth:`select` per
+    #: packet.  Defaults to False (safe); a subclass may only set it
+    #: True when neither :meth:`weights` nor :meth:`select` reads the
+    #: context - and must set it back to False when overriding either
+    #: with a context-dependent version.
+    context_free: bool = False
+
     @abc.abstractmethod
     def permissible(
         self, topo: MeshTopology, cur: int, dst: int

@@ -34,6 +34,8 @@ class IconRouting(WestFirstRouting):
     """Router-activity-balancing adaptive routing, core-agnostic."""
 
     name = "ICON"
+    # Reads neighbour data rates: must not inherit WestFirst's flag.
+    context_free = False
 
     def weights(
         self,

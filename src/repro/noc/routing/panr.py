@@ -57,6 +57,8 @@ class PanrRouting(WestFirstRouting):
 
     buffer_threshold: float = DEFAULT_BUFFER_THRESHOLD
     name = "PANR"
+    # Reads occupancy/rates/PSN: must not inherit WestFirst's flag.
+    context_free = False
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.buffer_threshold <= 1.0:

@@ -13,6 +13,7 @@ class XYRouting(RoutingAlgorithm):
     oblivious to congestion and PSN - the paper's weakest baseline."""
 
     name = "XY"
+    context_free = True
 
     def permissible(
         self, topo: MeshTopology, cur: int, dst: int

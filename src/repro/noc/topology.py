@@ -9,6 +9,8 @@ from __future__ import annotations
 import enum
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.chip.mesh import MeshGeometry
 
 
@@ -54,12 +56,33 @@ MESH_DIRECTIONS = (
     Direction.SOUTH,
 )
 
+#: Canonical router-port order shared by the cycle models and the array
+#: engine; index into this tuple is the integer *port code*.
+PORT_DIRECTIONS = (
+    Direction.LOCAL,
+    Direction.EAST,
+    Direction.WEST,
+    Direction.NORTH,
+    Direction.SOUTH,
+)
+
+#: Direction -> integer port code (position in :data:`PORT_DIRECTIONS`).
+PORT_CODES: Dict[Direction, int] = {
+    d: i for i, d in enumerate(PORT_DIRECTIONS)
+}
+
+#: ``OPPOSITE_CODES[code]`` is the port code of the opposite direction.
+OPPOSITE_CODES = tuple(
+    PORT_CODES[d.opposite] for d in PORT_DIRECTIONS
+)
+
 
 class MeshTopology:
     """Port-level view of a tile mesh for NoC models."""
 
     def __init__(self, mesh: MeshGeometry):
         self._mesh = mesh
+        self._neighbor_codes: Optional[np.ndarray] = None
         self._neighbors: Dict[int, Dict[Direction, int]] = {}
         coords = [mesh.coord_of(tile) for tile in mesh.tiles()]
         for tile, (x, y) in enumerate(coords):
@@ -113,6 +136,28 @@ class MeshTopology:
     def direction_towards(self, src: int, dst: int) -> List[Direction]:
         """Productive (distance-reducing) directions from src to dst."""
         return list(self._towards[(src, dst)])
+
+    def neighbor_codes(self) -> np.ndarray:
+        """All-pairs neighbour table keyed by port code.
+
+        Returns an ``(tile_count, 5)`` int array where column ``c`` holds
+        the neighbouring tile in direction ``PORT_DIRECTIONS[c]`` or
+        ``-1`` at a mesh edge; the LOCAL column holds the tile itself.
+        The array is built once and cached - the array cycle engine
+        gathers through it every cycle.
+        """
+        if self._neighbor_codes is None:
+            table = np.full(
+                (self._mesh.tile_count, len(PORT_DIRECTIONS)),
+                -1,
+                dtype=np.int64,
+            )
+            for tile in self._mesh.tiles():
+                table[tile, PORT_CODES[Direction.LOCAL]] = tile
+                for d, other in self._neighbors[tile].items():
+                    table[tile, PORT_CODES[d]] = other
+            self._neighbor_codes = table
+        return self._neighbor_codes
 
     def links(self) -> List[Tuple[int, Direction]]:
         """All unidirectional links as ``(src_tile, direction)`` pairs."""

@@ -12,7 +12,14 @@ against a committed baseline (see ``docs/performance.md``):
 * ``campaign_cell`` - one supervised campaign cell end to end;
 * ``e2e_sweep_serial`` / ``e2e_sweep_parallel`` - a small campaign
   sweep run serially and with worker processes (plus the derived
-  speedup).
+  speedup);
+* ``noc_engine_legacy`` / ``noc_engine_array`` - the flit-level cycle
+  model at 8x8 saturation: object-per-flit reference vs the
+  structure-of-arrays engine (plus ``noc_engine_array_adaptive`` for
+  the PANR context-assembly path);
+* ``routing_sweep_serial`` / ``routing_sweep_parallel`` - the
+  routing-policy sweep run in-process and fanned across workers (the
+  results are asserted identical before timings are recorded).
 
 Benchmark workloads are pinned (fixed seeds, sizes and cell specs), so
 two runs on the same machine measure the same work; only the wall time
@@ -223,6 +230,88 @@ def bench_e2e_sweep(quick: bool, workers: int, tmp_dir: str) -> Dict[str, Dict[s
     }
 
 
+def bench_noc_engine(quick: bool) -> Dict[str, Dict[str, Any]]:
+    from repro.chip.mesh import MeshGeometry
+    from repro.exp.routing_sweep import hotspot_psn, uniform_random_flows
+    from repro.noc.cycle import CycleNocSimulator
+    from repro.noc.engine import ArrayNocEngine
+    from repro.noc.routing import make_routing
+
+    mesh = MeshGeometry(8, 8)
+    rate = 0.35  # past XY saturation on 8x8 uniform-random traffic
+    flows = uniform_random_flows(mesh, rate, seed=7, packet_size_flits=4)
+    psn = hotspot_psn(mesh)
+    cycles = 1000 if quick else 2000
+    repeats = 3 if quick else 5
+
+    def legacy() -> None:
+        CycleNocSimulator(
+            mesh, make_routing("xy"), psn_pct=psn, seed=3
+        ).run(flows, cycles)
+
+    def array() -> None:
+        ArrayNocEngine(
+            mesh, make_routing("xy"), psn_pct=psn, seed=3
+        ).run(flows, cycles)
+
+    def adaptive() -> None:
+        ArrayNocEngine(
+            mesh, make_routing("panr"), psn_pct=psn, seed=3
+        ).run(flows, cycles)
+
+    meta = {"mesh": "8x8", "rate_flits_per_cycle": rate, "cycles": cycles}
+    return {
+        "noc_engine_legacy": {
+            "seconds": _time_best(legacy, repeats),
+            "meta": {**meta, "routing": "xy"},
+        },
+        "noc_engine_array": {
+            "seconds": _time_best(array, repeats),
+            "meta": {**meta, "routing": "xy"},
+        },
+        "noc_engine_array_adaptive": {
+            "seconds": _time_best(adaptive, repeats),
+            "meta": {**meta, "routing": "panr"},
+        },
+    }
+
+
+def bench_routing_sweep(quick: bool, workers: int) -> Dict[str, Dict[str, Any]]:
+    from repro.exp.routing_sweep import routing_sweep
+
+    kwargs: Dict[str, Any] = dict(
+        rates=(0.15, 0.35) if quick else (0.05, 0.15, 0.25, 0.35),
+        policies=("xy", "panr")
+        if quick
+        else ("xy", "odd-even", "icon", "panr"),
+        seeds=(1,) if quick else (1, 2),
+        cycles=800 if quick else 2000,
+    )
+    start = time.perf_counter()
+    serial_rows = routing_sweep(workers=1, **kwargs)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel_rows = routing_sweep(workers=workers, **kwargs)
+    parallel_s = time.perf_counter() - start
+    if serial_rows != parallel_rows:
+        raise RuntimeError(
+            "routing sweep produced different rows serial vs parallel"
+        )
+    points = len(kwargs["rates"]) * len(kwargs["policies"]) * len(
+        kwargs["seeds"]
+    )
+    return {
+        "routing_sweep_serial": {
+            "seconds": serial_s,
+            "meta": {"points": points, "workers": 1},
+        },
+        "routing_sweep_parallel": {
+            "seconds": parallel_s,
+            "meta": {"points": points, "workers": workers},
+        },
+    }
+
+
 def run_suite(
     quick: bool = False,
     workers: int = 4,
@@ -234,17 +323,26 @@ def run_suite(
     benchmarks: Dict[str, Dict[str, Any]] = {}
     benchmarks.update(bench_kernel(quick))
     benchmarks.update(bench_transient(quick))
+    benchmarks.update(bench_noc_engine(quick))
     if "campaign" not in skip:
         benchmarks.update(bench_campaign_cell(quick))
     if "e2e" not in skip:
         with tempfile.TemporaryDirectory() as tmp_dir:
             benchmarks.update(bench_e2e_sweep(quick, workers, tmp_dir))
+    if "routing" not in skip:
+        benchmarks.update(bench_routing_sweep(quick, workers))
 
     derived: Dict[str, float] = {}
     pairs = (
         ("kernel_batch_speedup", "kernel_eval_scalar", "kernel_eval_batch"),
         ("transient_warm_speedup", "transient_solve_cold", "transient_solve_warm"),
         ("e2e_parallel_speedup", "e2e_sweep_serial", "e2e_sweep_parallel"),
+        ("noc_engine_speedup", "noc_engine_legacy", "noc_engine_array"),
+        (
+            "routing_sweep_parallel_speedup",
+            "routing_sweep_serial",
+            "routing_sweep_parallel",
+        ),
     )
     for name, slow, fast in pairs:
         if slow in benchmarks and fast in benchmarks:
@@ -330,9 +428,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--skip",
         nargs="+",
         default=[],
-        choices=["campaign", "e2e"],
+        choices=["campaign", "e2e", "routing"],
         metavar="SUITE",
-        help="skip the slow suites (campaign, e2e)",
+        help="skip the slow suites (campaign, e2e, routing)",
     )
     return parser
 

@@ -33,7 +33,7 @@ from __future__ import annotations
 import pickle
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from multiprocessing import get_context
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.harness.errors import ConfigError
 from repro.harness.supervisor import (
@@ -80,6 +80,60 @@ def _require_picklable(cell_runner: CellRunner) -> None:
             runner=repr(cell_runner),
             error=str(exc),
         ) from exc
+
+
+def map_tasks(
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    workers: int,
+) -> List[Any]:
+    """Map a pure, module-level ``fn`` over ``tasks``; results in order.
+
+    The generic sibling of :func:`run_cells` for work that is not a
+    campaign cell (e.g. the routing-sweep points of
+    :mod:`repro.exp.routing_sweep`).  The same determinism contract
+    applies: ``fn`` must be a pure function of its task (no wall clock,
+    no shared RNG), so the result list is identical for any ``workers``
+    value - parallelism changes wall-clock time only, never bytes.
+
+    Args:
+        fn: Module-level callable (must be picklable for ``spawn``
+            workers) mapping one task to one result.
+        tasks: Task values; must themselves be picklable when
+            ``workers > 1``.
+        workers: Worker process count; capped at ``len(tasks)``.  ``1``
+            runs in-process with identical semantics.
+
+    Returns:
+        ``[fn(t) for t in tasks]`` in task order, regardless of
+        completion order.
+
+    Raises:
+        ConfigError: on ``workers < 1`` or an unpicklable ``fn``.
+    """
+    tasks = list(tasks)
+    if workers < 1:
+        raise ConfigError("workers must be >= 1", workers=workers)
+    if workers == 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    try:
+        pickle.dumps(fn)
+    except Exception as exc:
+        raise ConfigError(
+            "fn is not picklable; parallel map needs a module-level "
+            "callable",
+            fn=repr(fn),
+            error=str(exc),
+        ) from exc
+    pool = ProcessPoolExecutor(  # parmlint: ok[process-pool]
+        max_workers=min(workers, len(tasks)),
+        mp_context=get_context(START_METHOD),
+    )
+    try:
+        futures = [pool.submit(fn, task) for task in tasks]
+        return [future.result() for future in futures]
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def run_cells(

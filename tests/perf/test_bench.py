@@ -51,6 +51,32 @@ class TestPinnedWorkloads:
         for entry in result.values():
             assert entry["seconds"] > 0
 
+    def test_noc_engine_bench_smoke(self):
+        result = bench.bench_noc_engine(quick=True)
+        assert set(result) == {
+            "noc_engine_legacy",
+            "noc_engine_array",
+            "noc_engine_array_adaptive",
+        }
+        for entry in result.values():
+            assert entry["seconds"] > 0
+            assert entry["meta"]["mesh"] == "8x8"
+        # The array engine must actually be faster than the reference
+        # on the saturation workload (the gate for the exact multiple
+        # lives in the committed BENCH baselines).
+        assert (
+            result["noc_engine_array"]["seconds"]
+            < result["noc_engine_legacy"]["seconds"]
+        )
+
+    def test_routing_sweep_bench_asserts_identity(self):
+        result = bench.bench_routing_sweep(quick=True, workers=1)
+        assert set(result) == {
+            "routing_sweep_serial",
+            "routing_sweep_parallel",
+        }
+        assert result["routing_sweep_serial"]["meta"]["points"] == 4
+
 
 class TestGate:
     def test_regression_detected(self):
