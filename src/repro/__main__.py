@@ -15,6 +15,10 @@ Usage::
                                           # (see docs/performance.md)
     python -m repro routing --workers 4   # routing-policy sweep on the
                                           # array NoC engine
+    python -m repro verify --confidence 0.95 --half-width 0.02
+                                          # stop-when-confident interval
+                                          # estimation
+                                          # (see docs/verification.md)
 """
 
 from __future__ import annotations
@@ -47,6 +51,10 @@ def main(argv=None) -> int:
         from repro.exp.routing_sweep import main as routing_main
 
         return routing_main(argv[1:])
+    if argv and argv[0] == "verify":
+        from repro.exp.verify.cli import main as verify_main
+
+        return verify_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the PARM (DAC 2018) evaluation figures.",
@@ -63,7 +71,7 @@ def main(argv=None) -> int:
         metavar="SECTION",
         help=(
             "subset of: fig1 fig3a fig3b fig67 fig8 overhead ablations "
-            "extensions faults routing"
+            "extensions faults routing verify"
         ),
     )
     parser.add_argument(

@@ -36,7 +36,9 @@ TAXONOMY_ERRORS = frozenset(
         "ReproError",
         "ConfigError",
         "SolverError",
+        "SolverInputError",
         "SimTimeout",
+        "WorkerCrash",
         "CheckpointCorrupt",
     }
 )

@@ -31,6 +31,7 @@ from repro.chip.cmp import ChipDescription, default_chip
 from repro.exp.frameworks import framework as fw_lookup
 from repro.faults import DEFAULT_FAULT_RATES, FaultCampaign, FaultRates
 from repro.harness.errors import ConfigError
+from repro.harness.seeding import derive_seeds
 from repro.runtime.metrics import RunMetrics
 from repro.runtime.simulator import RuntimeSimulator
 
@@ -49,8 +50,13 @@ DEFAULT_INTENSITIES = (0.0, 0.5, 1.0)
 #: jitter, dominates each intensity step.
 SWEEP_FAULT_RATES = DEFAULT_FAULT_RATES.scaled(3.0)
 
-#: Seed offset separating campaign sampling from workload/VE seeding.
+#: Historical seed offsets.  The sweep's committed outputs predate
+#: :func:`repro.harness.seeding.derive_seeds`, so the legacy additive
+#: streams (``7000 + seed`` for campaign sampling, ``seed + 1000`` for
+#: the simulator) are preserved byte-identically via ``pinned=`` - the
+#: pin is explicit at the call site instead of a bare offset.
 _CAMPAIGN_SEED_OFFSET = 7000
+_SIM_SEED_OFFSET = 1000
 
 
 @dataclass(frozen=True)
@@ -133,10 +139,25 @@ def fault_sweep(
     # The campaign horizon must cover arrivals plus the execution tail.
     horizon_s = n_apps * arrival_interval_s + 5.0
 
+    campaign_seeds = derive_seeds(
+        seeds[0],
+        "exp/faults/campaign",
+        len(seeds),
+        pinned=tuple(_CAMPAIGN_SEED_OFFSET + seed for seed in seeds),
+    )
+    sim_seeds = derive_seeds(
+        seeds[0],
+        "exp/faults/sim",
+        len(seeds),
+        pinned=tuple(seed + _SIM_SEED_OFFSET for seed in seeds),
+    )
+
     per_point: Dict[Tuple[str, float], List[RunMetrics]] = {
         (fw.name, i): [] for fw in frameworks for i in intensities
     }
-    for seed in seeds:
+    for seed, campaign_seed, sim_seed in zip(
+        seeds, campaign_seeds, sim_seeds
+    ):
         workload = generate_workload(
             workload_type,
             arrival_interval_s,
@@ -148,7 +169,7 @@ def fault_sweep(
             intensity: FaultCampaign.sample(
                 chip,
                 horizon_s,
-                np.random.default_rng(_CAMPAIGN_SEED_OFFSET + seed),
+                np.random.default_rng(campaign_seed),
                 rates=rates,
                 intensity=intensity,
             )
@@ -161,7 +182,7 @@ def fault_sweep(
                     fw.make_manager(),
                     fw.make_routing(),
                     faults=campaigns[intensity],
-                    seed=seed + 1000,
+                    seed=sim_seed,
                 )
                 per_point[(fw.name, intensity)].append(sim.run(workload))
 

@@ -1,0 +1,70 @@
+"""Statistical verification: confidence-bounded reliability claims.
+
+The campaigns elsewhere in :mod:`repro.exp` report point estimates from
+a handful of seeds.  This package turns those into *verified* claims in
+the statistical-model-checking sense (cf. the probabilistic NoC
+verification line, arXiv:2108.13148): an estimate comes with a
+confidence interval at a requested level, replicas are drawn until the
+interval is tight enough (stop-when-confident) or a hard budget runs
+out, and rare events are reached by multilevel importance splitting
+instead of brute-force sampling.
+
+Layout:
+
+* :mod:`repro.exp.verify.intervals`  - interval estimators (Wilson,
+  Clopper-Pearson, Hoeffding, DKW quantile band);
+* :mod:`repro.exp.verify.estimands`  - adapters turning one seeded
+  model run into one i.i.d. sample (PDN voltage emergencies, fault
+  survival, NoC packet latency);
+* :mod:`repro.exp.verify.sequential` - the stop-when-confident
+  :class:`SequentialEstimator`, replicas as supervised campaign cells;
+* :mod:`repro.exp.verify.splitting`  - multilevel importance splitting
+  for rare voltage-emergency probabilities;
+* :mod:`repro.exp.verify.compare`    - interval columns and
+  significance verdicts for the PARM-vs-HM comparison;
+* :mod:`repro.exp.verify.cli`        - ``python -m repro verify``.
+"""
+
+from repro.exp.verify.estimands import (
+    FaultSurvivalEstimand,
+    PacketLatencyEstimand,
+    PdnEmergencyEstimand,
+    estimand_from_spec,
+    register_estimand,
+)
+from repro.exp.verify.intervals import (
+    Interval,
+    clopper_pearson,
+    dkw_epsilon,
+    dkw_quantile,
+    hoeffding,
+    wilson,
+)
+from repro.exp.verify.sequential import (
+    ReplicaCell,
+    SequentialEstimator,
+    StopRule,
+    VerifyResult,
+)
+from repro.exp.verify.splitting import SplittingConfig, SplittingResult, run_splitting
+
+__all__ = [
+    "FaultSurvivalEstimand",
+    "Interval",
+    "PacketLatencyEstimand",
+    "PdnEmergencyEstimand",
+    "ReplicaCell",
+    "SequentialEstimator",
+    "SplittingConfig",
+    "SplittingResult",
+    "StopRule",
+    "VerifyResult",
+    "clopper_pearson",
+    "dkw_epsilon",
+    "dkw_quantile",
+    "estimand_from_spec",
+    "hoeffding",
+    "register_estimand",
+    "run_splitting",
+    "wilson",
+]

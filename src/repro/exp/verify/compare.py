@@ -1,0 +1,184 @@
+"""PARM-vs-HM comparison with intervals and significance verdicts.
+
+The headline completion-rate comparison elsewhere in the report is a
+pair of seed-averaged point estimates.  This module re-states it as a
+verified claim: per-application completion is a Bernoulli trial
+(``seeds x n_apps`` trials per framework), each framework's completion
+probability gets a Wilson interval, and the difference gets a Newcombe
+score interval (the standard companion of Wilson for a difference of
+proportions: combine the two one-sided Wilson excursions in
+quadrature).  A row is "statistically significant at the chosen level"
+exactly when the difference interval excludes zero - otherwise the
+verdict says so, which is just as important a statement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.exp.verify.intervals import Interval, wilson
+from repro.harness.errors import ConfigError
+
+#: The paper's headline pairing (candidate vs baseline).
+DEFAULT_CANDIDATE = "PARM+PANR"
+DEFAULT_BASELINE = "HM+XY"
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One workload's completion-probability comparison."""
+
+    workload: str
+    candidate: str
+    baseline: str
+    candidate_interval: Interval
+    baseline_interval: Interval
+    diff: float
+    diff_lo: float
+    diff_hi: float
+
+    @property
+    def significant(self) -> bool:
+        """Difference interval excludes zero at the chosen confidence."""
+        return self.diff_lo > 0.0 or self.diff_hi < 0.0
+
+    @property
+    def verdict(self) -> str:
+        pct = f"{self.candidate_interval.confidence * 100:g}%"
+        if self.significant:
+            winner = self.candidate if self.diff > 0 else self.baseline
+            return f"significant at {pct} ({winner} completes more)"
+        return f"not significant at {pct}"
+
+
+def newcombe_diff(
+    a: Interval, b: Interval
+) -> Tuple[float, float, float]:
+    """Newcombe score interval for the difference ``a.p - b.p``.
+
+    Combines each Wilson interval's one-sided excursions in quadrature:
+    ``lo = d - sqrt((p_a - lo_a)^2 + (hi_b - p_b)^2)`` and symmetrically
+    for ``hi``.  Keeps Wilson's boundary behaviour (sane at 0/1, never
+    escapes [-1, 1]).
+    """
+    if a.method != "wilson" or b.method != "wilson":
+        raise ConfigError(
+            "newcombe_diff combines Wilson intervals",
+            methods=(a.method, b.method),
+        )
+    diff = a.estimate - b.estimate
+    lo = diff - math.sqrt(
+        (a.estimate - a.lo) ** 2 + (b.hi - b.estimate) ** 2
+    )
+    hi = diff + math.sqrt(
+        (a.hi - a.estimate) ** 2 + (b.estimate - b.lo) ** 2
+    )
+    return diff, max(-1.0, lo), min(1.0, hi)
+
+
+def completion_interval(
+    result: Any, n_apps: int, confidence: float = 0.95
+) -> Interval:
+    """Wilson interval for P(app completes) from a framework result.
+
+    Args:
+        result: A :class:`~repro.exp.runner.FrameworkResult`; its
+            per-seed ``runs`` supply the Bernoulli trials (one per
+            application per seed).
+        n_apps: Applications per run (the per-run trial count).
+        confidence: Two-sided confidence level.
+    """
+    runs = result.runs
+    if not runs:
+        raise ConfigError(
+            "framework result carries no runs", framework=result.framework
+        )
+    successes = sum(r.completed_count for r in runs)
+    return wilson(int(successes), len(runs) * int(n_apps), confidence)
+
+
+def compare_completion(
+    workload_types: Optional[Sequence[Any]] = None,
+    arrival_interval_s: float = 0.1,
+    n_apps: int = 12,
+    seeds: Sequence[int] = (1, 2, 3),
+    confidence: float = 0.95,
+    candidate: str = DEFAULT_CANDIDATE,
+    baseline: str = DEFAULT_BASELINE,
+    chip: Any = None,
+    library: Any = None,
+) -> List[ComparisonRow]:
+    """Per-workload completion comparison with intervals and verdicts.
+
+    Runs both frameworks over the same workloads/seeds (each run sees
+    the identical generated sequence) and returns one row per workload
+    type.
+    """
+    from repro.apps.suite import ProfileLibrary
+    from repro.apps.workload import WorkloadType
+    from repro.chip.cmp import default_chip
+    from repro.exp.frameworks import framework as fw_lookup
+    from repro.exp.runner import run_framework
+
+    if workload_types is None:
+        workload_types = list(WorkloadType)
+    chip = chip or default_chip()
+    library = library or ProfileLibrary()
+    rows: List[ComparisonRow] = []
+    for workload in workload_types:
+        intervals = {}
+        for name in (candidate, baseline):
+            fr = run_framework(
+                fw_lookup(name),
+                workload,
+                arrival_interval_s,
+                n_apps=n_apps,
+                seeds=seeds,
+                chip=chip,
+                library=library,
+            )
+            intervals[name] = completion_interval(fr, n_apps, confidence)
+        diff, lo, hi = newcombe_diff(
+            intervals[candidate], intervals[baseline]
+        )
+        rows.append(
+            ComparisonRow(
+                workload=workload.value,
+                candidate=candidate,
+                baseline=baseline,
+                candidate_interval=intervals[candidate],
+                baseline_interval=intervals[baseline],
+                diff=diff,
+                diff_lo=lo,
+                diff_hi=hi,
+            )
+        )
+    return rows
+
+
+def print_comparison(rows: Sequence[ComparisonRow]) -> None:
+    """Print the interval-annotated completion comparison table."""
+    if not rows:
+        print("completion comparison: no rows")
+        return
+    first = rows[0]
+    print(
+        "Completion probability with "
+        f"{first.candidate_interval.confidence * 100:g}% Wilson intervals "
+        f"({first.candidate} vs {first.baseline})"
+    )
+    print(
+        f"{'workload':>9s} {'cand p [lo, hi]':>22s} "
+        f"{'base p [lo, hi]':>22s} {'diff [lo, hi]':>24s}  verdict"
+    )
+    for row in rows:
+        c, b = row.candidate_interval, row.baseline_interval
+        print(
+            f"{row.workload:>9s} "
+            f"{c.estimate:>6.3f} [{c.lo:.3f}, {c.hi:.3f}] "
+            f"{b.estimate:>6.3f} [{b.lo:.3f}, {b.hi:.3f}] "
+            f"{row.diff:>+7.3f} [{row.diff_lo:+.3f}, {row.diff_hi:+.3f}]"
+            f"  {row.verdict}"
+        )

@@ -1,0 +1,247 @@
+"""Confidence-interval estimators for the verification layer.
+
+Four estimators cover the three estimand kinds the verifier supports:
+
+* :func:`wilson` and :func:`clopper_pearson` - binomial proportions
+  (Bernoulli estimands such as P(voltage emergency)).  Wilson is the
+  default: near-nominal coverage at moderate ``n`` without the waste of
+  Wald's interval near 0/1.  Clopper-Pearson is the exact (conservative)
+  alternative, guaranteed to cover at *every* ``(n, p)``.
+* :func:`hoeffding` - distribution-free interval for the mean of any
+  bounded variable (e.g. the per-run app-failure fraction).  Width is
+  ``(b - a) * sqrt(ln(2/alpha) / (2n))`` - guaranteed coverage at the
+  price of being wider than a CLT interval.
+* :func:`dkw_quantile` - quantile band from the Dvoretzky-Kiefer-
+  Wolfowitz inequality: with probability ``>= confidence`` the empirical
+  CDF stays within ``eps = sqrt(ln(2/alpha) / (2n))`` of the true CDF
+  everywhere at once, so order statistics bracketing ``q -/+ eps``
+  bracket the true ``q``-quantile.
+
+All functions return a frozen :class:`Interval` and validate their
+inputs with :class:`~repro.harness.errors.ConfigError` - a verifier
+that silently produced a nonsense interval would defeat its purpose.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from statistics import NormalDist
+from typing import Any, Dict, Sequence
+
+import numpy as np
+from scipy.stats import beta
+
+from repro.harness.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A point estimate with its two-sided confidence interval.
+
+    Attributes:
+        estimate: The point estimate (proportion, mean, or quantile).
+        lo: Lower confidence bound.
+        hi: Upper confidence bound.
+        confidence: Nominal two-sided coverage level in (0, 1).
+        n: Sample size behind the interval.
+        method: Estimator name (``"wilson"``, ``"clopper-pearson"``,
+            ``"hoeffding"``, ``"dkw"``).
+    """
+
+    estimate: float
+    lo: float
+    hi: float
+    confidence: float
+    n: int
+    method: str
+
+    @property
+    def half_width(self) -> float:
+        """Half of the interval width - the stop-rule quantity."""
+        return 0.5 * (self.hi - self.lo)
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the closed interval."""
+        return self.lo <= value <= self.hi
+
+    def to_json(self) -> Dict[str, Any]:
+        """Plain-JSON form (deterministic: floats only, sorted use)."""
+        return {
+            "estimate": float(self.estimate),
+            "lo": float(self.lo),
+            "hi": float(self.hi),
+            "confidence": float(self.confidence),
+            "n": int(self.n),
+            "half_width": float(self.half_width),
+            "method": self.method,
+        }
+
+
+def _check_confidence(confidence: float) -> float:
+    if not 0.0 < confidence < 1.0 or not math.isfinite(confidence):
+        raise ConfigError(
+            "confidence must lie strictly inside (0, 1)",
+            confidence=confidence,
+        )
+    return float(confidence)
+
+
+def _check_counts(successes: int, n: int) -> None:
+    if n < 1:
+        raise ConfigError("sample size must be at least 1", n=n)
+    if not 0 <= successes <= n:
+        raise ConfigError(
+            "successes must lie in [0, n]", successes=successes, n=n
+        )
+
+
+def _z(confidence: float) -> float:
+    """Two-sided standard-normal critical value (stdlib, no tables)."""
+    return NormalDist().inv_cdf(0.5 + 0.5 * confidence)
+
+
+def wilson(successes: int, n: int, confidence: float = 0.95) -> Interval:
+    """Wilson score interval for a binomial proportion.
+
+    The score interval inverts the normal test on the *true* ``p``
+    rather than the estimate, so it stays inside [0, 1], is never empty,
+    and keeps near-nominal coverage even at ``p`` close to 0 or 1 where
+    the Wald interval collapses (0 successes still yield an informative
+    upper bound).
+    """
+    confidence = _check_confidence(confidence)
+    _check_counts(successes, n)
+    z = _z(confidence)
+    p = successes / n
+    denom = 1.0 + z * z / n
+    centre = (p + z * z / (2 * n)) / denom
+    spread = (
+        z * math.sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n)) / denom
+    )
+    return Interval(
+        estimate=p,
+        lo=max(0.0, centre - spread),
+        hi=min(1.0, centre + spread),
+        confidence=confidence,
+        n=n,
+        method="wilson",
+    )
+
+
+def clopper_pearson(
+    successes: int, n: int, confidence: float = 0.95
+) -> Interval:
+    """Exact (Clopper-Pearson) binomial interval via beta quantiles.
+
+    Guaranteed coverage ``>= confidence`` at every ``(n, p)`` - the
+    conservative choice when a verdict must never over-claim.  The
+    endpoints are the usual beta quantiles, with the degenerate
+    ``successes = 0`` / ``= n`` edges pinned to exact 0 / 1.
+    """
+    confidence = _check_confidence(confidence)
+    _check_counts(successes, n)
+    alpha = 1.0 - confidence
+    lo = (
+        0.0
+        if successes == 0
+        else float(beta.ppf(alpha / 2.0, successes, n - successes + 1))
+    )
+    hi = (
+        1.0
+        if successes == n
+        else float(beta.ppf(1.0 - alpha / 2.0, successes + 1, n - successes))
+    )
+    return Interval(
+        estimate=successes / n,
+        lo=lo,
+        hi=hi,
+        confidence=confidence,
+        n=n,
+        method="clopper-pearson",
+    )
+
+
+def hoeffding(
+    mean: float,
+    n: int,
+    confidence: float = 0.95,
+    bounds: Sequence[float] = (0.0, 1.0),
+) -> Interval:
+    """Hoeffding interval for the mean of a ``bounds``-bounded variable.
+
+    Distribution-free: only boundedness is assumed, so the guarantee
+    holds for any dependence-free sample of e.g. per-run failure
+    fractions.  Half-width is ``(b - a) * sqrt(ln(2/alpha) / (2n))``.
+    """
+    confidence = _check_confidence(confidence)
+    if n < 1:
+        raise ConfigError("sample size must be at least 1", n=n)
+    a, b = float(bounds[0]), float(bounds[1])
+    if not (math.isfinite(a) and math.isfinite(b)) or a >= b:
+        raise ConfigError("bounds must be finite with a < b", a=a, b=b)
+    if not a <= mean <= b:
+        raise ConfigError(
+            "mean must lie within its bounds", mean=mean, a=a, b=b
+        )
+    alpha = 1.0 - confidence
+    half = (b - a) * math.sqrt(math.log(2.0 / alpha) / (2.0 * n))
+    return Interval(
+        estimate=float(mean),
+        lo=max(a, mean - half),
+        hi=min(b, mean + half),
+        confidence=confidence,
+        n=n,
+        method="hoeffding",
+    )
+
+
+def dkw_epsilon(n: int, confidence: float = 0.95) -> float:
+    """DKW uniform CDF band half-width ``sqrt(ln(2/alpha) / (2n))``."""
+    _check_confidence(confidence)
+    if n < 1:
+        raise ConfigError("sample size must be at least 1", n=n)
+    alpha = 1.0 - confidence
+    return math.sqrt(math.log(2.0 / alpha) / (2.0 * n))
+
+
+def dkw_quantile(
+    samples: Sequence[float], q: float, confidence: float = 0.95
+) -> Interval:
+    """DKW confidence band for the ``q``-quantile of a sample.
+
+    The empirical CDF is within ``eps`` of the truth everywhere with
+    probability ``>= confidence`` (DKW with Massart's constant), so the
+    order statistics at ranks ``ceil(n*(q - eps))`` and
+    ``ceil(n*(q + eps))`` bracket the true quantile.  When a rank falls
+    off the end of the sample the bound is truncated at the sample
+    extreme: the interval is then one-sided - honest coverage requires
+    ``n > ln(2/alpha) / (2 * min(q, 1-q)^2)``, which for p99 at 95 %
+    confidence is roughly 18 500 samples (tail quantiles are expensive;
+    this is a property of the guarantee, not of the implementation).
+    """
+    confidence = _check_confidence(confidence)
+    if not 0.0 < q < 1.0:
+        raise ConfigError("quantile must lie strictly inside (0, 1)", q=q)
+    values = np.asarray(sorted(float(s) for s in samples))
+    n = values.size
+    if n < 1:
+        raise ConfigError("sample size must be at least 1", n=n)
+    if not np.isfinite(values).all():
+        raise ConfigError("samples must be finite", n=n)
+    eps = dkw_epsilon(n, confidence)
+    # Empirical q-quantile: the smallest order statistic whose ECDF
+    # value reaches q (rank ceil(n*q), 1-based).
+    point = float(values[min(n - 1, max(0, math.ceil(n * q) - 1))])
+    lo_rank = math.ceil(n * (q - eps))
+    hi_rank = math.ceil(n * (q + eps))
+    lo = float(values[lo_rank - 1]) if lo_rank >= 1 else float(values[0])
+    hi = float(values[hi_rank - 1]) if hi_rank <= n else float(values[-1])
+    return Interval(
+        estimate=point,
+        lo=lo,
+        hi=hi,
+        confidence=confidence,
+        n=n,
+        method="dkw",
+    )

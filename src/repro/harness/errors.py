@@ -19,6 +19,10 @@ can produce is therefore classified under one root:
   retry ladders re-raise them immediately;
 * :class:`SimTimeout`       - a supervised cell exceeded its deadline
   watchdog;
+* :class:`WorkerCrash`      - a parallel-map task failed: either the
+  task callable raised inside its worker, or the worker process died
+  outright (OOM kill, segfault -> ``BrokenProcessPool``); context names
+  the task index and repr so the failing input is identifiable;
 * :class:`CheckpointCorrupt` - a campaign checkpoint failed its schema,
   version, or content-digest validation on load.
 
@@ -118,6 +122,20 @@ class SolverInputError(SolverError):
 
 class SimTimeout(ReproError):
     """A supervised cell exceeded its wall-clock deadline watchdog."""
+
+
+class WorkerCrash(ReproError):
+    """A parallel-map task failed in (or took down) its worker process.
+
+    Raised by :func:`repro.perf.parallel.map_tasks` for both failure
+    modes: the task callable raising any non-taxonomy exception, and
+    the worker process dying before returning a result (an OOM kill or
+    hard crash surfaces as ``BrokenProcessPool``).  Context carries
+    ``task_index`` and ``task`` (repr) so the offending input can be
+    replayed, plus ``error_type``/``error`` with the underlying cause.
+    Taxonomy errors (:class:`ReproError` subclasses) raised by the task
+    itself propagate unchanged - they already carry provenance.
+    """
 
 
 class CheckpointCorrupt(ReproError):

@@ -49,7 +49,17 @@ import json
 import os
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 import numpy as np
 
@@ -69,8 +79,41 @@ CAMPAIGN_VERSION = 1
 #: Hex digits of the cell content hash kept as the cell key.
 _KEY_HEX_DIGITS = 16
 
+
+@runtime_checkable
+class SupervisedCell(Protocol):
+    """Structural contract of anything the supervisor can run.
+
+    The supervisor machinery (checkpointing, retry, watchdog, parallel
+    fan-out) touches a cell only through this surface, so any frozen,
+    picklable value type implementing it can ride the campaign
+    infrastructure - :class:`CampaignCell` is the canonical
+    implementation, and the sequential verifier's
+    :class:`~repro.exp.verify.sequential.ReplicaCell` reuses the whole
+    stack (checkpoints, resume, workers) without subclassing.
+    """
+
+    @property
+    def key(self) -> str:
+        """Content-hashed identity (stable across processes)."""
+        ...
+
+    @property
+    def label(self) -> str:
+        """Human-readable name for logs and failure records."""
+        ...
+
+    def spec(self) -> Dict[str, Any]:
+        """Canonical JSON spec (the input to the content hash)."""
+        ...
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.harness.errors.ConfigError` if unrunnable."""
+        ...
+
+
 #: A cell runner maps a cell spec to its result row (plain JSON types).
-CellRunner = Callable[["CampaignCell"], Dict[str, Any]]
+CellRunner = Callable[["SupervisedCell"], Dict[str, Any]]
 
 
 @dataclass(frozen=True)
@@ -251,7 +294,7 @@ class CellOutcome:
     table, so resumed and uninterrupted campaigns emit identical bytes.
     """
 
-    cell: CampaignCell
+    cell: SupervisedCell
     status: str
     result: Optional[Dict[str, Any]]
     attempts: Tuple[CellAttempt, ...] = ()
@@ -407,7 +450,7 @@ class CellExecutor:
         #: is the (shared-state) default runner.
         self._runner: Optional[CellRunner] = cell_runner
 
-    def run_cell(self, cell: CampaignCell) -> CellOutcome:
+    def run_cell(self, cell: SupervisedCell) -> CellOutcome:
         """Run one cell to a terminal state (retries included)."""
         attempts: List[CellAttempt] = []
         schedule = self._policy.backoff_schedule_s(cell.key)
@@ -451,7 +494,7 @@ class CellExecutor:
         if self._cell_runner is None:
             self._runner = None
 
-    def _execute(self, cell: CampaignCell) -> Dict[str, Any]:
+    def _execute(self, cell: SupervisedCell) -> Dict[str, Any]:
         """Run one attempt, bounded by the deadline watchdog."""
         runner = self._current_runner()
         if self._policy.deadline_s is None:
@@ -487,7 +530,7 @@ class CellExecutor:
             raise box["error"]
         return box["result"]
 
-    def _guard(self, cell: CampaignCell, runner: CellRunner) -> Dict[str, Any]:
+    def _guard(self, cell: SupervisedCell, runner: CellRunner) -> Dict[str, Any]:
         """Taxonomy boundary: classify anything a cell can raise."""
         try:
             return runner(cell)
@@ -536,7 +579,7 @@ class CampaignSupervisor:
 
     def __init__(
         self,
-        cells: Sequence[CampaignCell],
+        cells: Sequence[SupervisedCell],
         checkpoint_path: str,
         policy: Optional[SupervisorPolicy] = None,
         cell_runner: Optional[CellRunner] = None,
@@ -563,7 +606,7 @@ class CampaignSupervisor:
         )
 
     @property
-    def cells(self) -> Tuple[CampaignCell, ...]:
+    def cells(self) -> Tuple[SupervisedCell, ...]:
         return self._cells
 
     @property
@@ -620,7 +663,7 @@ class CampaignSupervisor:
         if resume and os.path.exists(self._checkpoint_path):
             state = self._load_state()
         restored: Dict[str, CellOutcome] = {}
-        pending: List[CampaignCell] = []
+        pending: List[SupervisedCell] = []
         for cell in self._cells:
             record = state.get(cell.key)
             if record is not None and not (
@@ -665,7 +708,7 @@ class CampaignSupervisor:
     # Cell execution (delegated to the shared CellExecutor unit)
     # ------------------------------------------------------------------
 
-    def _run_cell(self, cell: CampaignCell) -> CellOutcome:
+    def _run_cell(self, cell: SupervisedCell) -> CellOutcome:
         return self._executor.run_cell(cell)
 
     # ------------------------------------------------------------------
@@ -681,7 +724,7 @@ class CampaignSupervisor:
         }
 
     def _restore(
-        self, cell: CampaignCell, record: Dict[str, Any]
+        self, cell: SupervisedCell, record: Dict[str, Any]
     ) -> CellOutcome:
         return CellOutcome(
             cell=cell,

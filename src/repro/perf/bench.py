@@ -19,7 +19,10 @@ against a committed baseline (see ``docs/performance.md``):
   the PANR context-assembly path);
 * ``routing_sweep_serial`` / ``routing_sweep_parallel`` - the
   routing-policy sweep run in-process and fanned across workers (the
-  results are asserted identical before timings are recorded).
+  results are asserted identical before timings are recorded);
+* ``verify_sequential`` / ``verify_splitting`` - the stop-when-confident
+  sequential estimator and the rare-event importance-splitting run on
+  the PDN emergency estimand (see ``docs/verification.md``).
 
 Benchmark workloads are pinned (fixed seeds, sizes and cell specs), so
 two runs on the same machine measure the same work; only the wall time
@@ -312,6 +315,52 @@ def bench_routing_sweep(quick: bool, workers: int) -> Dict[str, Dict[str, Any]]:
     }
 
 
+def bench_verify(quick: bool) -> Dict[str, Dict[str, Any]]:
+    from repro.exp.verify.estimands import PdnEmergencyEstimand
+    from repro.exp.verify.sequential import SequentialEstimator, StopRule
+    from repro.exp.verify.splitting import SplittingConfig, run_splitting
+
+    estimand = PdnEmergencyEstimand()
+    budget = 512 if quick else 2048
+    half_width = 0.04 if quick else 0.02
+    rule = StopRule(
+        confidence=0.95,
+        half_width=half_width,
+        budget=budget,
+        batch_size=64,
+    )
+    repeats = 2 if quick else 3
+
+    def sequential() -> None:
+        result = SequentialEstimator(estimand, rule=rule, root_seed=0).run()
+        if result.n_replicas < rule.min_replicas:
+            raise RuntimeError("sequential benchmark underran its floor")
+
+    rare = PdnEmergencyEstimand(threshold_pct=19.5)
+    config = SplittingConfig(
+        n_per_level=400 if quick else 1000, mcmc_moves=3
+    )
+
+    def splitting() -> None:
+        result = run_splitting(rare, config=config, root_seed=0)
+        if result.probability <= 0.0:
+            raise RuntimeError("splitting benchmark lost all mass")
+
+    return {
+        "verify_sequential": {
+            "seconds": _time_best(sequential, repeats),
+            "meta": {"budget": budget, "half_width": half_width},
+        },
+        "verify_splitting": {
+            "seconds": _time_best(splitting, repeats),
+            "meta": {
+                "threshold_pct": rare.threshold_pct,
+                "n_per_level": config.n_per_level,
+            },
+        },
+    }
+
+
 def run_suite(
     quick: bool = False,
     workers: int = 4,
@@ -331,6 +380,8 @@ def run_suite(
             benchmarks.update(bench_e2e_sweep(quick, workers, tmp_dir))
     if "routing" not in skip:
         benchmarks.update(bench_routing_sweep(quick, workers))
+    if "verify" not in skip:
+        benchmarks.update(bench_verify(quick))
 
     derived: Dict[str, float] = {}
     pairs = (
@@ -428,9 +479,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--skip",
         nargs="+",
         default=[],
-        choices=["campaign", "e2e", "routing"],
+        choices=["campaign", "e2e", "routing", "verify"],
         metavar="SUITE",
-        help="skip the slow suites (campaign, e2e, routing)",
+        help="skip the slow suites (campaign, e2e, routing, verify)",
     )
     return parser
 

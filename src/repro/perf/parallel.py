@@ -32,12 +32,13 @@ from __future__ import annotations
 
 import pickle
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_context
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.harness.errors import ConfigError
+from repro.harness.errors import ConfigError, ReproError, WorkerCrash
 from repro.harness.supervisor import (
-    CampaignCell,
+    SupervisedCell,
     CellExecutor,
     CellOutcome,
     CellRunner,
@@ -63,7 +64,7 @@ def _worker_init(
     _EXECUTOR = CellExecutor(policy, cell_runner=cell_runner)
 
 
-def _pool_run_cell(cell: CampaignCell) -> CellOutcome:
+def _pool_run_cell(cell: SupervisedCell) -> CellOutcome:
     """Run one cell on this worker's executor (the pool task)."""
     if _EXECUTOR is None:  # pragma: no cover - initializer always runs
         raise RuntimeError("worker pool was not initialised")
@@ -82,6 +83,16 @@ def _require_picklable(cell_runner: CellRunner) -> None:
         ) from exc
 
 
+def _task_context(index: int, task: Any, exc: BaseException) -> Dict[str, Any]:
+    """Provenance context of one failed map task (for WorkerCrash)."""
+    return {
+        "task_index": index,
+        "task": repr(task),
+        "error_type": type(exc).__name__,
+        "error": str(exc),
+    }
+
+
 def map_tasks(
     fn: Callable[[Any], Any],
     tasks: Sequence[Any],
@@ -95,6 +106,13 @@ def map_tasks(
     applies: ``fn`` must be a pure function of its task (no wall clock,
     no shared RNG), so the result list is identical for any ``workers``
     value - parallelism changes wall-clock time only, never bytes.
+
+    Failures are classified like :func:`run_cells` outcomes are: a task
+    raising a non-taxonomy exception, or a worker process dying outright
+    (``BrokenProcessPool`` from an OOM kill or hard crash), surfaces as
+    :class:`~repro.harness.errors.WorkerCrash` carrying the task index
+    and repr - never a bare traceback with no hint of which input died.
+    Taxonomy errors raised by ``fn`` itself propagate unchanged.
 
     Args:
         fn: Module-level callable (must be picklable for ``spawn``
@@ -110,12 +128,25 @@ def map_tasks(
 
     Raises:
         ConfigError: on ``workers < 1`` or an unpicklable ``fn``.
+        WorkerCrash: when a task raises a non-taxonomy exception or its
+            worker process dies; context identifies the task.
     """
     tasks = list(tasks)
     if workers < 1:
         raise ConfigError("workers must be >= 1", workers=workers)
     if workers == 1 or len(tasks) <= 1:
-        return [fn(task) for task in tasks]
+        results = []
+        for index, task in enumerate(tasks):
+            try:
+                results.append(fn(task))
+            except ReproError:
+                raise
+            except Exception as exc:
+                raise WorkerCrash(
+                    "task raised inside its worker",
+                    **_task_context(index, task, exc),
+                ) from exc
+        return results
     try:
         pickle.dumps(fn)
     except Exception as exc:
@@ -131,13 +162,32 @@ def map_tasks(
     )
     try:
         futures = [pool.submit(fn, task) for task in tasks]
-        return [future.result() for future in futures]
+        results = []
+        for index, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except ReproError:
+                raise
+            except BrokenProcessPool as exc:
+                # The worker *process* died before returning (OOM kill,
+                # segfault, interpreter abort); the task is the one that
+                # was in flight when it happened.
+                raise WorkerCrash(
+                    "worker process died before completing its task",
+                    **_task_context(index, tasks[index], exc),
+                ) from exc
+            except Exception as exc:
+                raise WorkerCrash(
+                    "task raised inside its worker",
+                    **_task_context(index, tasks[index], exc),
+                ) from exc
+        return results
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
 
 
 def run_cells(
-    cells: Sequence[CampaignCell],
+    cells: Sequence[SupervisedCell],
     policy: SupervisorPolicy,
     workers: int,
     cell_runner: Optional[CellRunner] = None,

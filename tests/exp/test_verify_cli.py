@@ -1,0 +1,168 @@
+"""Tests for ``python -m repro verify``: CLI plumbing plus the
+SIGKILL-mid-run / resume-from-checkpoint smoke path.
+
+The kill test is this PR's acceptance criterion in miniature: a
+sequential estimation run killed with SIGKILL mid-batch resumes from
+its shared checkpoint, re-executes nothing that already committed, and
+writes a result JSON byte-identical to an uninterrupted run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.exp.verify.cli import main
+from repro.harness.errors import ConfigError
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: A deterministic budget-exhausting run: the half-width target is
+#: unreachable, so every invocation runs exactly 512 replicas - long
+#: enough (per-replica checkpoint commits) for a poll-then-kill to land
+#: mid-run.
+KILL_RUN = [
+    "--estimand", "ve",
+    "--half-width", "0.001",
+    "--budget", "512",
+    "--batch-size", "64",
+]
+
+
+def verify_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return env
+
+
+def run_cli(args, **kwargs):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "verify", *args],
+        cwd=REPO_ROOT,
+        env=verify_env(),
+        capture_output=True,
+        text=True,
+        timeout=600,
+        **kwargs,
+    )
+
+
+def checkpointed_cells(path):
+    """Replica records currently in the checkpoint (empty when absent)."""
+    try:
+        with open(path) as handle:
+            return json.load(handle)["payload"]["cells"]
+    except (OSError, ValueError, KeyError):
+        return {}
+
+
+class TestMainInProcess:
+    def test_stops_before_budget_and_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        code = main(
+            [
+                "--confidence", "0.95",
+                "--half-width", "0.05",
+                "--json-out", str(out),
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "stopped when confident" in stdout
+        data = json.loads(out.read_text())
+        assert data["schema"] == "parm-verify"
+        assert data["stopped_early"] is True
+        assert data["n_replicas"] < data["rule"]["budget"]
+        assert data["interval"]["half_width"] <= 0.05
+
+    def test_json_deterministic_across_runs(self, tmp_path, capsys):
+        outs = [tmp_path / "a.json", tmp_path / "b.json"]
+        for out in outs:
+            assert main(
+                [
+                    "--half-width", "0.05",
+                    "--budget", "256",
+                    "--json-out", str(out),
+                ]
+            ) == 0
+        capsys.readouterr()
+        assert outs[0].read_bytes() == outs[1].read_bytes()
+
+    def test_splitting_mode_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "split.json"
+        code = main(
+            [
+                "--splitting",
+                "--threshold-pct", "19.5",
+                "--n-per-level", "400",
+                "--json-out", str(out),
+            ]
+        )
+        assert code == 0
+        assert "splitting ve" in capsys.readouterr().out
+        data = json.loads(out.read_text())
+        assert data["schema"] == "parm-verify-splitting"
+        assert 0.0 < data["probability"] < 1.0
+
+    def test_splitting_rejects_non_ve_estimand(self):
+        with pytest.raises(ConfigError, match="level function"):
+            main(["--splitting", "--estimand", "latency"])
+
+    def test_method_choices_are_validated(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--method", "wald"])
+        capsys.readouterr()
+
+
+class TestSigkillResume:
+    def test_kill_mid_run_then_resume_byte_identical(self, tmp_path):
+        cp = str(tmp_path / "cp.json")
+        out = str(tmp_path / "resumed.json")
+        ref_out = str(tmp_path / "reference.json")
+
+        # Uninterrupted reference run (no checkpoint - the result JSON
+        # must not depend on persistence at all).
+        ref = run_cli(["--json-out", ref_out, *KILL_RUN])
+        assert ref.returncode == 0, ref.stderr
+        assert "budget exhausted" in ref.stdout
+
+        # Launch the same run with a checkpoint and SIGKILL it once the
+        # checkpoint holds some committed replicas (the rest in flight).
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "verify",
+                "--checkpoint", cp, *KILL_RUN,
+            ],
+            cwd=REPO_ROOT,
+            env=verify_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            while proc.poll() is None and len(checkpointed_cells(cp)) < 32:
+                time.sleep(0.01)
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        survived = checkpointed_cells(cp)
+        assert len(survived) >= 1
+
+        # Resume: committed replicas restore, the rest re-derive their
+        # seeds from the same stream, and the JSON is byte-identical.
+        res = run_cli(
+            [
+                "--checkpoint", cp, "--resume", "--json-out", out,
+                *KILL_RUN,
+            ]
+        )
+        assert res.returncode == 0, res.stderr
+        assert Path(out).read_bytes() == Path(ref_out).read_bytes()

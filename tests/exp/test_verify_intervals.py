@@ -1,0 +1,196 @@
+"""Tests for the interval estimators in ``repro.exp.verify.intervals``.
+
+Three layers, per the PR's acceptance criteria:
+
+* closed-form spot checks against hand-computed values;
+* degenerate cases (0 or n successes, n=1, p=0/1, tiny samples);
+* seeded empirical coverage: over many Bernoulli experiments the
+  realised coverage of a nominal 95% interval must stay >= 93%.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exp.verify.intervals import (
+    Interval,
+    clopper_pearson,
+    dkw_epsilon,
+    dkw_quantile,
+    hoeffding,
+    wilson,
+)
+from repro.harness.errors import ConfigError
+
+
+class TestIntervalValue:
+    def test_half_width_and_contains(self):
+        iv = Interval(0.5, 0.4, 0.62, 0.95, 100, "wilson")
+        assert iv.half_width == pytest.approx(0.11)
+        assert iv.contains(0.4) and iv.contains(0.62) and iv.contains(0.5)
+        assert not iv.contains(0.39) and not iv.contains(0.63)
+
+    def test_to_json_round_trips_plain_types(self):
+        payload = wilson(7, 10).to_json()
+        assert payload["method"] == "wilson"
+        assert payload["n"] == 10
+        assert isinstance(payload["estimate"], float)
+
+
+class TestWilson:
+    def test_closed_form_spot_check(self):
+        # 15/100 at z = 1.959964: centre = (15 + z^2/2) / (100 + z^2),
+        # half = z * sqrt(15 * 85 / 100 + z^2 / 4) / (100 + z^2).
+        iv = wilson(15, 100, confidence=0.95)
+        z = 1.959963985
+        centre = (15 + z * z / 2) / (100 + z * z)
+        half = (
+            z * math.sqrt(15 * 85 / 100 + z * z / 4) / (100 + z * z)
+        )
+        assert iv.estimate == pytest.approx(0.15)
+        assert iv.lo == pytest.approx(centre - half, abs=1e-8)
+        assert iv.hi == pytest.approx(centre + half, abs=1e-8)
+
+    def test_zero_and_all_successes_stay_in_unit_interval(self):
+        lo_iv = wilson(0, 20)
+        hi_iv = wilson(20, 20)
+        assert lo_iv.lo == pytest.approx(0.0, abs=1e-12)
+        assert lo_iv.hi > 0.0
+        assert hi_iv.hi == pytest.approx(1.0, abs=1e-12)
+        assert hi_iv.lo < 1.0
+
+    def test_n_one(self):
+        iv = wilson(1, 1)
+        assert 0.0 <= iv.lo <= iv.estimate <= iv.hi <= 1.0
+
+    def test_narrows_with_n(self):
+        assert wilson(50, 100).half_width > wilson(500, 1000).half_width
+
+    def test_higher_confidence_is_wider(self):
+        assert (
+            wilson(30, 100, confidence=0.99).half_width
+            > wilson(30, 100, confidence=0.95).half_width
+        )
+
+    def test_rejects_bad_counts_and_confidence(self):
+        with pytest.raises(ConfigError):
+            wilson(5, 0)
+        with pytest.raises(ConfigError):
+            wilson(-1, 10)
+        with pytest.raises(ConfigError):
+            wilson(11, 10)
+        with pytest.raises(ConfigError):
+            wilson(5, 10, confidence=1.0)
+
+
+class TestClopperPearson:
+    def test_exact_edges(self):
+        # 0/n: lo is exactly 0 and hi = 1 - (alpha/2)^(1/n).
+        iv = clopper_pearson(0, 10)
+        assert iv.lo == 0.0
+        assert iv.hi == pytest.approx(1 - 0.025 ** (1 / 10), abs=1e-8)
+        iv = clopper_pearson(10, 10)
+        assert iv.hi == 1.0
+        assert iv.lo == pytest.approx(0.025 ** (1 / 10), abs=1e-8)
+
+    def test_contains_wilson_interval(self):
+        # Clopper-Pearson is conservative: it should cover at least the
+        # Wilson interval at the same confidence.
+        cp = clopper_pearson(15, 100)
+        wi = wilson(15, 100)
+        assert cp.lo <= wi.lo + 1e-12
+        assert cp.hi >= wi.hi - 1e-12
+
+    def test_n_one(self):
+        iv = clopper_pearson(1, 1)
+        assert iv.lo == pytest.approx(0.025, abs=1e-9)
+        assert iv.hi == 1.0
+
+
+class TestHoeffding:
+    def test_closed_form_half_width(self):
+        # half = sqrt(ln(2/alpha) / (2n)) on the unit interval.
+        iv = hoeffding(0.5, 200, confidence=0.95)
+        assert iv.half_width == pytest.approx(
+            math.sqrt(math.log(2 / 0.05) / 400), abs=1e-12
+        )
+
+    def test_bounds_scale_the_width(self):
+        unit = hoeffding(0.5, 50)
+        wide = hoeffding(5.0, 50, bounds=(0.0, 10.0))
+        assert wide.half_width == pytest.approx(10 * unit.half_width)
+
+    def test_clamps_to_bounds(self):
+        iv = hoeffding(0.01, 5)
+        assert iv.lo == 0.0
+        assert iv.hi <= 1.0
+
+    def test_rejects_mean_outside_bounds(self):
+        with pytest.raises(ConfigError):
+            hoeffding(1.5, 10)
+
+
+class TestDkw:
+    def test_epsilon_closed_form(self):
+        assert dkw_epsilon(1000, 0.95) == pytest.approx(
+            math.sqrt(math.log(2 / 0.05) / 2000), abs=1e-12
+        )
+
+    def test_median_band_on_known_sample(self):
+        samples = list(range(1, 101))  # 1..100
+        iv = dkw_quantile(samples, 0.5, confidence=0.95)
+        assert iv.estimate == 50
+        assert iv.lo < 50 < iv.hi
+        assert iv.method == "dkw"
+
+    def test_band_truncates_at_sample_extremes(self):
+        iv = dkw_quantile([1.0, 2.0, 3.0], 0.99, confidence=0.95)
+        assert iv.hi == 3.0
+        assert iv.lo >= 1.0
+
+    def test_rejects_empty_and_bad_quantile(self):
+        with pytest.raises(ConfigError):
+            dkw_quantile([], 0.5)
+        with pytest.raises(ConfigError):
+            dkw_quantile([1.0], 1.0)
+
+
+class TestEmpiricalCoverage:
+    """Seeded coverage experiments: realised >= 93% at nominal 95%."""
+
+    N_EXPERIMENTS = 400
+
+    def _bernoulli_coverage(self, estimator, p, n):
+        rng = np.random.default_rng(20260808)
+        covered = 0
+        for _ in range(self.N_EXPERIMENTS):
+            successes = int(rng.binomial(n, p))
+            if estimator(successes, n, confidence=0.95).contains(p):
+                covered += 1
+        return covered / self.N_EXPERIMENTS
+
+    @pytest.mark.parametrize("estimator", [wilson, clopper_pearson])
+    @pytest.mark.parametrize("p,n", [(0.5, 100), (0.1, 200), (0.9, 150)])
+    def test_bernoulli_coverage(self, estimator, p, n):
+        assert self._bernoulli_coverage(estimator, p, n) >= 0.93
+
+    def test_hoeffding_coverage_uniform_mean(self):
+        rng = np.random.default_rng(7)
+        covered = 0
+        for _ in range(self.N_EXPERIMENTS):
+            values = rng.random(80)
+            iv = hoeffding(float(values.mean()), 80, confidence=0.95)
+            covered += iv.contains(0.5)
+        # Hoeffding is very conservative; coverage should be ~100%.
+        assert covered / self.N_EXPERIMENTS >= 0.93
+
+    def test_dkw_coverage_exponential_p90(self):
+        rng = np.random.default_rng(11)
+        true_p90 = -math.log(0.1)  # Exp(1) quantile
+        covered = 0
+        for _ in range(self.N_EXPERIMENTS):
+            samples = rng.exponential(1.0, 400)
+            iv = dkw_quantile(samples.tolist(), 0.9, confidence=0.95)
+            covered += iv.lo <= true_p90 <= iv.hi
+        assert covered / self.N_EXPERIMENTS >= 0.93

@@ -6,16 +6,18 @@ it (pytest's rootdir sys.path is inherited by the children).
 """
 
 import json
+import os
+import signal
 
 import pytest
 
-from repro.harness.errors import ConfigError
+from repro.harness.errors import ConfigError, SolverError, WorkerCrash
 from repro.harness.supervisor import (
     CampaignCell,
     CampaignSupervisor,
     SupervisorPolicy,
 )
-from repro.perf.parallel import run_cells
+from repro.perf.parallel import map_tasks, run_cells
 
 
 def toy_runner(c):
@@ -47,6 +49,58 @@ def cells(n=4):
 def read_bytes(path):
     with open(path, "rb") as handle:
         return handle.read()
+
+
+def crash_on_three(task):
+    """Module-level map task that raises on one specific input."""
+    if task == 3:
+        raise ValueError("boom on three")
+    return task * 2
+
+
+def raise_taxonomy(task):
+    """Module-level map task raising a classified (taxonomy) error."""
+    raise SolverError("already classified", node="n0", task=task)
+
+
+def sigkill_self(task):
+    """Module-level map task whose worker is killed outright (OOM-like)."""
+    os.kill(os.getpid(), signal.SIGKILL)
+    return task  # pragma: no cover - the process is dead
+
+
+class TestMapTasksFailures:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_task_exception_becomes_worker_crash(self, workers):
+        with pytest.raises(WorkerCrash) as info:
+            map_tasks(crash_on_three, [1, 2, 3, 4], workers=workers)
+        err = info.value
+        assert err.context["task_index"] == 2
+        assert err.context["task"] == "3"
+        assert err.context["error_type"] == "ValueError"
+        assert "boom on three" in err.context["error"]
+
+    def test_serial_cause_is_preserved(self):
+        with pytest.raises(WorkerCrash) as info:
+            map_tasks(crash_on_three, [3], workers=1)
+        assert isinstance(info.value.__cause__, ValueError)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_taxonomy_errors_propagate_unwrapped(self, workers):
+        # A classified failure already carries provenance; wrapping it
+        # in WorkerCrash would bury the classification.
+        with pytest.raises(SolverError, match="already classified"):
+            map_tasks(raise_taxonomy, [1, 2], workers=workers)
+
+    def test_oom_killed_worker_becomes_worker_crash(self):
+        # SIGKILL-ing the worker process is how an OOM kill looks from
+        # the parent: BrokenProcessPool with zero context.  map_tasks
+        # must classify it and name the in-flight task.
+        with pytest.raises(WorkerCrash, match="worker process died") as info:
+            map_tasks(sigkill_self, [10, 20], workers=2)
+        err = info.value
+        assert err.context["error_type"] == "BrokenProcessPool"
+        assert err.context["task"] in ("10", "20")
 
 
 class TestRunCells:
