@@ -44,6 +44,20 @@ def default_baseline_path(root: Path) -> Path:
     return Path.cwd() / DEFAULT_BASELINE_NAME
 
 
+def default_cache_dir(root: Path) -> Path:
+    """``<repo>/.parmlint-cache`` — the call-graph artifact directory.
+
+    Located the same way as the baseline (nearest ``pyproject.toml``
+    ancestor) so CI can persist it with ``actions/cache``.  The
+    directory is git-ignored; deleting it only costs a cold rebuild,
+    which produces a byte-identical artifact.
+    """
+    for ancestor in root.parents:
+        if (ancestor / "pyproject.toml").exists():
+            return ancestor / ".parmlint-cache"
+    return Path.cwd() / ".parmlint-cache"
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro lint",
@@ -79,6 +93,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="record all current findings as the new baseline and exit 0",
     )
     parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help=(
+            "directory for the interprocedural call-graph artifact "
+            "(default: <repo>/.parmlint-cache)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always rebuild the call graph in memory (no artifact I/O)",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the registered rules and exit",
@@ -100,7 +127,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     root = Path(args.root).resolve() if args.root else default_root()
     if not root.is_dir():
         parser.error(f"--root {root} is not a directory")
-    result = LintEngine(rules).run(root)
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_dir:
+        cache_dir = Path(args.cache_dir)
+    else:
+        cache_dir = default_cache_dir(root)
+    result = LintEngine(rules).run(root, cache_dir=cache_dir)
 
     baseline_path = (
         Path(args.baseline) if args.baseline else default_baseline_path(root)

@@ -12,6 +12,10 @@ The engine separates three concerns:
 * **Checking** — every registered :class:`Rule` gets a per-module hook
   (:meth:`Rule.check_module`) and a whole-project hook
   (:meth:`Rule.check_project`, used by e.g. the import-cycle rule).
+  :class:`ProjectRule` subclasses additionally receive a
+  :class:`ProjectContext` carrying the interprocedural call graph
+  (:mod:`repro.analysis.callgraph`), built once per run and shared by
+  every such rule.
 
 Findings suppressed by a pragma are counted but not reported; baseline
 filtering happens in the CLI layer so library callers always see the
@@ -21,9 +25,10 @@ full picture.
 from __future__ import annotations
 
 import ast
+import importlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.findings import Finding
 from repro.analysis.pragmas import PragmaIndex, parse_pragmas
@@ -73,6 +78,48 @@ class Rule:
             line=getattr(node, "lineno", 0),
             message=message,
         )
+
+
+@dataclass
+class ProjectContext:
+    """Everything an interprocedural rule can see in one run.
+
+    Attributes:
+        modules: All parsed modules, in discovery (sorted-path) order.
+        graph: The project :class:`repro.analysis.callgraph.CallGraph`
+            (possibly loaded from cache).  Typed ``Any`` here because
+            callgraph builds on this module; the engine loads it at run
+            time (importlib) to keep the static import graph acyclic.
+        functions: qname -> ``(ModuleInfo, ast node)`` for every
+            callable in the project; always built fresh because cached
+            graphs do not carry live AST nodes.
+    """
+
+    modules: Sequence[ModuleInfo]
+    graph: Any
+    functions: Dict[str, Tuple[ModuleInfo, ast.AST]]
+
+    def module_for(self, rel: str) -> Optional[ModuleInfo]:
+        for mod in self.modules:
+            if mod.rel == rel:
+                return mod
+        return None
+
+
+class ProjectRule(Rule):
+    """A rule that consumes the interprocedural call graph.
+
+    Registering at least one ProjectRule makes the engine build (or
+    load from cache) the call graph once per run and hand it to every
+    such rule via :meth:`check_graph`.  Findings flow through the same
+    pragma-suppression and baseline machinery as any other rule: a
+    ``# parmlint: ok[rule]`` pragma at the finding's (path, line) — by
+    convention the *mutation/violation site*, not the root — suppresses
+    it even when the reachability path spans several modules.
+    """
+
+    def check_graph(self, ctx: ProjectContext) -> Iterable[Finding]:
+        return ()
 
 
 @dataclass
@@ -134,8 +181,15 @@ class LintEngine:
     def rules(self) -> Sequence[Rule]:
         return tuple(self._rules)
 
-    def run(self, root: Path) -> LintResult:
-        """Lint every ``.py`` file under ``root`` (a package directory)."""
+    def run(self, root: Path, cache_dir: Optional[Path] = None) -> LintResult:
+        """Lint every ``.py`` file under ``root`` (a package directory).
+
+        Args:
+            root: Package directory to lint.
+            cache_dir: Optional directory for the call-graph artifact.
+                Only consulted when a :class:`ProjectRule` is
+                registered; ``None`` always builds the graph in memory.
+        """
         result = LintResult()
         modules: List[ModuleInfo] = []
         for path in discover_files(root):
@@ -161,15 +215,35 @@ class LintEngine:
                         result.findings.append(finding)
 
         by_rel = {mod.rel: mod for mod in modules}
+
+        def emit(finding: Finding) -> None:
+            mod = by_rel.get(finding.path)
+            if mod is not None and mod.pragmas.suppresses(
+                finding.rule, finding.line
+            ):
+                result.suppressed += 1
+            else:
+                result.findings.append(finding)
+
         for rule in self._rules:
             for finding in rule.check_project(modules):
-                mod = by_rel.get(finding.path)
-                if mod is not None and mod.pragmas.suppresses(
-                    finding.rule, finding.line
-                ):
-                    result.suppressed += 1
-                else:
-                    result.findings.append(finding)
+                emit(finding)
+
+        project_rules = [r for r in self._rules if isinstance(r, ProjectRule)]
+        if project_rules:
+            # callgraph imports ModuleInfo from this module, so the
+            # engine loads it at run time (importlib, as supervisor does
+            # for the pool): the dependency is one-way per call and the
+            # static import graph stays acyclic.
+            callgraph = importlib.import_module("repro.analysis.callgraph")
+            ctx = ProjectContext(
+                modules=modules,
+                graph=callgraph.project_graph(modules, cache_dir=cache_dir),
+                functions=callgraph.index_functions(modules),
+            )
+            for rule in project_rules:
+                for finding in rule.check_graph(ctx):
+                    emit(finding)
 
         result.findings.sort(key=lambda f: f.sort_key)
         return result

@@ -17,11 +17,14 @@ from repro.analysis.rules.float_eq import FloatEqRule
 from repro.analysis.rules.import_cycle import ImportCycleRule
 from repro.analysis.rules.mutable_default import MutableDefaultRule
 from repro.analysis.rules.process_pool import ProcessPoolRule
+from repro.analysis.rules.seed_provenance import SeedProvenanceRule
 from repro.analysis.rules.seeded_rng import SeededRngRule
 from repro.analysis.rules.set_iteration import SetIterationRule
+from repro.analysis.rules.shared_readonly import SharedReadonlyRule
 from repro.analysis.rules.silent_except import SilentExceptRule
 from repro.analysis.rules.unit_suffix import UnitSuffixRule
 from repro.analysis.rules.wall_clock import WallClockRule
+from repro.analysis.rules.worker_safety import WorkerSafetyRule
 
 #: Every registered rule class, in documentation order.
 ALL_RULES: List[Type[Rule]] = [
@@ -35,6 +38,9 @@ ALL_RULES: List[Type[Rule]] = [
     ImportCycleRule,
     SetIterationRule,
     ProcessPoolRule,
+    WorkerSafetyRule,
+    SeedProvenanceRule,
+    SharedReadonlyRule,
 ]
 
 
@@ -50,10 +56,13 @@ __all__ = [
     "ImportCycleRule",
     "MutableDefaultRule",
     "ProcessPoolRule",
+    "SeedProvenanceRule",
     "SeededRngRule",
     "SetIterationRule",
+    "SharedReadonlyRule",
     "SilentExceptRule",
     "UnitSuffixRule",
     "WallClockRule",
+    "WorkerSafetyRule",
     "default_rules",
 ]

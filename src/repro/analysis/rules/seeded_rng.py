@@ -11,6 +11,12 @@ Allowed constructors — instance-based, seedable APIs:
 * ``np.random.default_rng(seed)`` / ``Generator`` / ``SeedSequence``
   and the bit-generator classes;
 * stdlib ``random.Random(seed)`` (an owned instance, not the module).
+
+The safe constructors are only safe *with a seed*: ``default_rng()``
+and ``Random()`` called with no argument draw OS entropy and are never
+replayable, so zero-argument constructor calls are flagged too.
+(Whether a provided seed has legitimate provenance is the deeper
+interprocedural ``seed-provenance`` rule's job.)
 """
 
 from __future__ import annotations
@@ -42,6 +48,15 @@ SAFE_NUMPY = frozenset(
 #: is deliberately absent: it is OS-entropy backed and never replayable.
 SAFE_STDLIB = frozenset({"Random"})
 
+#: Safe constructors that silently fall back to OS entropy when called
+#: with no arguments at all (``Generator`` is absent: it requires a bit
+#: generator positionally, so a zero-arg call is already a TypeError).
+ENTROPY_WHEN_UNSEEDED = (SAFE_NUMPY | SAFE_STDLIB) - {"Generator"}
+
+
+def _is_zero_arg(call: ast.Call) -> bool:
+    return not call.args and not call.keywords
+
 
 class SeededRngRule(Rule):
     id = "seeded-rng"
@@ -55,6 +70,12 @@ class SeededRngRule(Rule):
         random_aliases = module_aliases(tree, "random")
         numpy_aliases = module_aliases(tree, "numpy")
         np_random_aliases = module_aliases(tree, "numpy.random")
+
+        ctor_locals = {}
+        for source in ("random", "numpy.random"):
+            for name, local, _lineno in from_imports(tree, source):
+                if name in ENTROPY_WHEN_UNSEEDED:
+                    ctor_locals[local] = name
 
         for name, local, lineno in from_imports(tree, "random"):
             if name not in SAFE_STDLIB:
@@ -83,8 +104,44 @@ class SeededRngRule(Rule):
         for node in ast.walk(tree):
             if not isinstance(node, ast.Call):
                 continue
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in ctor_locals
+                and _is_zero_arg(node)
+            ):
+                yield self.finding(
+                    mod,
+                    node,
+                    f"{ctor_locals[node.func.id]}() with no seed draws OS "
+                    "entropy and is never replayable; pass an explicit "
+                    "seed",
+                )
+                continue
             chain = attr_chain(node.func)
             if chain is None or len(chain) < 2:
+                continue
+            safe_ctor = None
+            if chain[0] in random_aliases and chain[1] in SAFE_STDLIB:
+                safe_ctor = chain[1]
+            elif (
+                chain[0] in numpy_aliases
+                and len(chain) >= 3
+                and chain[1] == "random"
+                and chain[2] in SAFE_NUMPY
+            ):
+                safe_ctor = chain[2]
+            elif chain[0] in np_random_aliases and chain[1] in SAFE_NUMPY:
+                safe_ctor = chain[1]
+            if (
+                safe_ctor in ENTROPY_WHEN_UNSEEDED
+                and _is_zero_arg(node)
+            ):
+                yield self.finding(
+                    mod,
+                    node,
+                    f"{'.'.join(chain)}() with no seed draws OS entropy "
+                    "and is never replayable; pass an explicit seed",
+                )
                 continue
             if chain[0] in random_aliases and chain[1] not in SAFE_STDLIB:
                 yield self.finding(

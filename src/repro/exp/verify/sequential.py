@@ -138,6 +138,11 @@ def run_replica_cell(cell: ReplicaCell) -> Dict[str, Any]:
     estimand = _ESTIMAND_CACHE.get(cell.estimand_json)
     if estimand is None:
         estimand = estimand_from_spec(json.loads(cell.estimand_json))
+        # Deterministic per-process memo: the cached value is a pure
+        # function of the cell's spec JSON (content-hashed into the
+        # cell key), so every worker computes the identical entry and
+        # results cannot depend on which worker ran which replica.
+        # parmlint: ok[worker-safety] - deterministic per-process memo
         _ESTIMAND_CACHE[cell.estimand_json] = estimand
     return {
         "index": int(cell.index),

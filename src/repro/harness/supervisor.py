@@ -687,6 +687,12 @@ class CampaignSupervisor:
             run_cells = importlib.import_module(
                 "repro.perf.parallel"
             ).run_cells
+            # self._cell_runner is opaque here by design (any picklable
+            # callable); the runners actually shipped through it
+            # (run_replica_cell, None -> default_cell_runner built
+            # in-worker) are registered in WORKER_ROOTS, and run_cells
+            # itself rejects unpicklable runners before the pool starts.
+            # parmlint: ok[worker-safety] - opaque runner, see above
             run_cells(
                 pending,
                 self._policy,

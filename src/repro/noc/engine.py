@@ -88,6 +88,24 @@ class ArrayNocEngine:
             accumulator injection process is deterministic).
     """
 
+    #: Topology-derived lookup tables that the warm-worker-pool plan
+    #: maps into shared memory: read-only once built.  parmlint's
+    #: shared-readonly rule flags any write outside __init__ and the
+    #: lazy route-table builder declared below (see docs/lint.md).
+    __shared_readonly__ = (
+        "_down_tile",
+        "_down_port",
+        "_down_flat",
+        "_edge_ok",
+        "_rr_key_table",
+        "_flat_slot_base",
+        "_route_table",
+        "_table_built",
+    )
+    #: _route_table/_table_built columns are filled lazily, one
+    #: destination at a time, by this builder.
+    __shared_readonly_init__ = ("_build_route_columns",)
+
     def __init__(
         self,
         mesh: MeshGeometry,

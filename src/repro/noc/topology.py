@@ -80,6 +80,13 @@ OPPOSITE_CODES = tuple(
 class MeshTopology:
     """Port-level view of a tile mesh for NoC models."""
 
+    #: Precomputed all-pairs lookup tables, read-only once built: the
+    #: warm-worker-pool plan shares them across workers, and parmlint's
+    #: shared-readonly rule flags any write outside __init__ / the lazy
+    #: neighbor-code builder (see docs/lint.md).
+    __shared_readonly__ = ("_hops", "_towards", "_neighbor_codes")
+    __shared_readonly_init__ = ("neighbor_codes",)
+
     def __init__(self, mesh: MeshGeometry):
         self._mesh = mesh
         self._neighbor_codes: Optional[np.ndarray] = None

@@ -113,6 +113,20 @@ class _TransientPlan:
     isrc_f: np.ndarray
     isrc_t: np.ndarray
 
+    #: Plan arrays are shared read-only with pool workers (warm-pool
+    #: plan); parmlint's shared-readonly rule bans writes after
+    #: construction.  (Unannotated class attr: not a dataclass field.)
+    __shared_readonly__ = (
+        "cap_g",
+        "ind_r",
+        "cap_a",
+        "cap_b",
+        "ind_a",
+        "ind_b",
+        "isrc_f",
+        "isrc_t",
+    )
+
 
 @dataclass
 class _Resistor:

@@ -65,6 +65,11 @@ class _KernelTables:
     z_cross: np.ndarray  # (2, 2) indexed by (BIN_INDEX[i], BIN_INDEX[j])
     kappa: np.ndarray  # (4, 4) coupling discount, zero diagonal
 
+    #: Kernel matrices are shared read-only with pool workers (warm-pool
+    #: plan); parmlint's shared-readonly rule bans writes after
+    #: construction.  (Unannotated class attr: not a dataclass field.)
+    __shared_readonly__ = ("z_own", "z_cross", "kappa")
+
 
 def _check_batch_inputs(
     vdd: np.ndarray, i_core: np.ndarray, i_router: np.ndarray

@@ -17,6 +17,8 @@ against a committed baseline (see ``docs/performance.md``):
   model at 8x8 saturation: object-per-flit reference vs the
   structure-of-arrays engine (plus ``noc_engine_array_adaptive`` for
   the PANR context-assembly path);
+* ``lint_deep`` - one cold-cache interprocedural parmlint run over
+  ``src/repro`` (call-graph build plus every rule);
 * ``routing_sweep_serial`` / ``routing_sweep_parallel`` - the
   routing-policy sweep run in-process and fanned across workers (the
   results are asserted identical before timings are recorded);
@@ -361,6 +363,29 @@ def bench_verify(quick: bool) -> Dict[str, Dict[str, Any]]:
     }
 
 
+def bench_lint(quick: bool) -> Dict[str, Dict[str, Any]]:
+    from pathlib import Path
+
+    import repro
+    from repro.analysis.engine import LintEngine
+    from repro.analysis.rules import default_rules
+
+    package_root = Path(repro.__file__).resolve().parent
+
+    def deep() -> None:
+        # cache_dir=None forces a cold call-graph build every pass, so
+        # this times the full interprocedural run (the CI cold-start
+        # cost; warm runs only re-run the rules).
+        LintEngine(default_rules()).run(package_root, cache_dir=None)
+
+    return {
+        "lint_deep": {
+            "seconds": _time_best(deep, 1 if quick else 2),
+            "meta": {"root": "src/repro", "cache": "cold"},
+        }
+    }
+
+
 def run_suite(
     quick: bool = False,
     workers: int = 4,
@@ -373,6 +398,7 @@ def run_suite(
     benchmarks.update(bench_kernel(quick))
     benchmarks.update(bench_transient(quick))
     benchmarks.update(bench_noc_engine(quick))
+    benchmarks.update(bench_lint(quick))
     if "campaign" not in skip:
         benchmarks.update(bench_campaign_cell(quick))
     if "e2e" not in skip:

@@ -51,6 +51,24 @@ from repro.harness.supervisor import (
 #: (solver caches, RNG state, held locks) into every worker.
 START_METHOD = "spawn"
 
+#: Every callable shipped into a worker process, by dotted name.  This
+#: is the root set of parmlint's interprocedural ``worker-safety``
+#: analysis: the transitive closure of these callables must not mutate
+#: module globals, read the wall clock/environment, or capture
+#: unpicklable state (see docs/lint.md).  The linter parses this tuple
+#: statically and flags both unresolvable entries and pool shipments
+#: whose target is missing from it, so the registry cannot silently go
+#: stale as new fan-outs appear; tests/perf/test_worker_roots.py pins
+#: that each entry resolves to a real callable.
+WORKER_ROOTS = (
+    "repro.exp.routing_sweep.run_point",
+    "repro.exp.verify.sequential.run_replica_cell",
+    "repro.harness.supervisor.CellExecutor.run_cell",
+    "repro.harness.supervisor.default_cell_runner",
+    "repro.perf.parallel._pool_run_cell",
+    "repro.perf.parallel._worker_init",
+)
+
 #: Per-process cell executor, built once by :func:`_worker_init` when
 #: the pool starts and reused for every cell the worker receives.
 _EXECUTOR: Optional[CellExecutor] = None
@@ -61,6 +79,10 @@ def _worker_init(
 ) -> None:
     """Build this worker process's cell executor (pool initializer)."""
     global _EXECUTOR
+    # Per-process executor slot: written exactly once by the pool
+    # initializer before any task runs, never shared across processes,
+    # so serial/parallel bytes cannot diverge.
+    # parmlint: ok[worker-safety] - once-per-worker initializer write
     _EXECUTOR = CellExecutor(policy, cell_runner=cell_runner)
 
 

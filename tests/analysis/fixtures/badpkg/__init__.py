@@ -1,0 +1,5 @@
+"""Seeded true-positive fixture package for the interprocedural rules.
+
+Never imported by tests - only parsed and linted.  Each module holds
+exactly the violations tests/analysis/test_project_rules.py pins.
+"""

@@ -1,0 +1,14 @@
+"""Shared-readonly violation: a declared table written after build."""
+
+import numpy as np
+
+
+class Engine:
+    __shared_readonly__ = ("_table",)
+
+    def __init__(self, n):
+        self._table = np.zeros(n)
+
+    def poke(self, i, v):
+        self._table[i] = v
+        return self._table

@@ -1,0 +1,7 @@
+"""Middle hop of the reachability path: pure pass-through."""
+
+from badpkg import store
+
+
+def step(item):
+    return store.put("k", item)

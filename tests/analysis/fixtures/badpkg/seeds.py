@@ -1,0 +1,17 @@
+"""Seed-provenance violations: literal seeds, arithmetic, OS entropy."""
+
+import random
+
+import numpy as np
+
+
+def literal_seed():
+    return np.random.default_rng(42)
+
+
+def seed_arithmetic(base, index):
+    return np.random.default_rng(base * 1000 + index)
+
+
+def os_entropy():
+    return random.Random()

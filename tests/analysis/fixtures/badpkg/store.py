@@ -1,0 +1,15 @@
+"""End of the path: mutates module state three hops from the root."""
+
+import os
+import time
+
+_DB = {}
+_LOG = []
+
+
+def put(key, value):
+    _DB[key] = value
+    _LOG.append(key)
+    stamp = time.time()
+    tag = os.getenv("STORE_TAG")
+    return (value, stamp, tag)

@@ -1,0 +1,19 @@
+"""Worker entry point: the root of a three-module reachability path."""
+
+from badpkg import mid
+from badpkg.pool import map_tasks
+
+
+def task(item):
+    return mid.step(item)
+
+
+def sweep(items):
+    # Ships an unregistered target and a lambda: two shipment findings.
+    map_tasks(helper, items, 2)
+    map_tasks(lambda x: x + 1, items, 2)
+    return items
+
+
+def helper(item):
+    return item

@@ -1,0 +1,1 @@
+"""Fixed counterpart of badpkg: same shape, zero parmlint findings."""

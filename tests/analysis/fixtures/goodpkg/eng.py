@@ -1,0 +1,20 @@
+"""Shared-readonly contract honoured: writes only in declared builders."""
+
+import numpy as np
+
+
+class Engine:
+    __shared_readonly__ = ("_table", "_cols")
+    __shared_readonly_init__ = ("_build_cols",)
+
+    def __init__(self, n):
+        self._table = np.zeros(n)
+        self._cols = np.zeros(n)
+        self._built = False
+
+    def _build_cols(self, values):
+        self._cols[:] = values
+        self._built = True
+
+    def read(self, i):
+        return float(self._table[i])

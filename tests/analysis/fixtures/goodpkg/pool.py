@@ -1,0 +1,11 @@
+"""Stand-in pool layer: the registry and a map_tasks-shaped sink."""
+
+
+WORKER_ROOTS = (
+    "goodpkg.work.task",
+    "goodpkg.work.helper",
+)
+
+
+def map_tasks(fn, tasks, workers):
+    return [fn(t) for t in tasks]

@@ -1,0 +1,21 @@
+"""Seeds with provenance: parameters and derive_seed streams."""
+
+import numpy as np
+
+from repro.harness.seeding import derive_seed
+
+
+def from_parameter(seed):
+    return np.random.default_rng(seed)
+
+
+def from_derivation(root_seed, label):
+    return np.random.default_rng(derive_seed(root_seed, label, 0))
+
+
+def via_helper(root_seed, label):
+    return np.random.default_rng(_stream(root_seed, label))
+
+
+def _stream(root_seed, label):
+    return derive_seed(root_seed, label, 1)

@@ -1,0 +1,5 @@
+"""End of the path: pure - results flow back instead of into globals."""
+
+
+def put(key, value):
+    return (key, value)

@@ -1,0 +1,16 @@
+"""Worker entry point: every shipped callable is registered."""
+
+from goodpkg import mid
+from goodpkg.pool import map_tasks
+
+
+def task(item):
+    return mid.step(item)
+
+
+def sweep(items):
+    return map_tasks(helper, items, 2)
+
+
+def helper(item):
+    return item + 1

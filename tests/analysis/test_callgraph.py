@@ -1,0 +1,300 @@
+"""Call-graph unit tests: indexing, resolution, shipments, cache."""
+
+import ast
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    build_graph,
+    graph_to_bytes,
+    index_functions,
+    project_graph,
+    source_key,
+)
+from repro.analysis.engine import ModuleInfo
+from repro.analysis.pragmas import parse_pragmas
+
+
+def make_module(module, source):
+    source = textwrap.dedent(source)
+    rel = module.replace(".", "/") + ".py"
+    return ModuleInfo(
+        path=Path("/nonexistent") / rel,
+        rel=rel,
+        module=module,
+        source=source,
+        tree=ast.parse(source),
+        pragmas=parse_pragmas(source),
+    )
+
+
+def make_modules(sources):
+    return [make_module(m, s) for m, s in sorted(sources.items())]
+
+
+CHAIN = {
+    "pkg.work": """
+        from pkg import mid
+        from pkg.pool import map_tasks
+
+        def task(item):
+            return mid.step(item)
+
+        def sweep(items):
+            return map_tasks(task, items, 2)
+        """,
+    "pkg.mid": """
+        from pkg import store
+
+        def step(item):
+            return store.put("k", item)
+        """,
+    "pkg.store": """
+        def put(key, value):
+            return (key, value)
+        """,
+    "pkg.pool": """
+        def map_tasks(fn, tasks, workers):
+            return [fn(t) for t in tasks]
+        """,
+}
+
+
+class TestResolution:
+    def test_module_alias_and_from_import_edges(self):
+        graph = build_graph(make_modules(CHAIN))
+        task = graph.node("pkg.work.task")
+        assert task is not None
+        assert "pkg.mid.step" in task.calls
+        assert "pkg.store.put" in graph.node("pkg.mid.step").calls
+        sweep = graph.node("pkg.work.sweep")
+        assert "pkg.pool.map_tasks" in sweep.calls
+
+    def test_bare_name_and_alias_assignment(self):
+        graph = build_graph(
+            make_modules(
+                {
+                    "pkg.a": """
+                    def f():
+                        return 1
+
+                    g = f
+
+                    def caller():
+                        return g() + f()
+                    """
+                }
+            )
+        )
+        caller = graph.node("pkg.a.caller")
+        assert caller.calls == ("pkg.a.f",)
+
+    def test_self_method_and_typed_local(self):
+        graph = build_graph(
+            make_modules(
+                {
+                    "pkg.a": """
+                    class Engine:
+                        def __init__(self):
+                            self.n = 0
+
+                        def run(self):
+                            return self.helper()
+
+                        def helper(self):
+                            return self.n
+
+                    def drive():
+                        e = Engine()
+                        return e.run()
+                    """
+                }
+            )
+        )
+        assert "pkg.a.Engine.helper" in graph.node("pkg.a.Engine.run").calls
+        drive = graph.node("pkg.a.drive")
+        assert "pkg.a.Engine.__init__" in drive.calls
+        assert "pkg.a.Engine.run" in drive.calls
+
+    def test_nested_def_and_lambda_get_parent_edges(self):
+        graph = build_graph(
+            make_modules(
+                {
+                    "pkg.a": """
+                    def outer():
+                        def inner():
+                            return 1
+                        fn = lambda x: x
+                        return inner, fn
+                    """
+                }
+            )
+        )
+        outer = graph.node("pkg.a.outer")
+        assert "pkg.a.outer.<locals>.inner" in outer.calls
+        assert any("<lambda@" in c for c in outer.calls)
+        assert graph.node("pkg.a.outer.<locals>.inner").kind == "nested"
+
+    def test_class_resolves_to_init(self):
+        graph = build_graph(
+            make_modules(
+                {
+                    "pkg.a": """
+                    class Engine:
+                        def __init__(self):
+                            self.n = 0
+                    """
+                }
+            )
+        )
+        assert graph.resolve_callable("pkg.a.Engine") == (
+            "pkg.a.Engine.__init__"
+        )
+        assert graph.resolve_callable("pkg.a.Missing") is None
+
+    def test_external_calls_land_in_unresolved(self):
+        graph = build_graph(
+            make_modules(
+                {
+                    "pkg.a": """
+                    import numpy as np
+
+                    def f(x):
+                        return np.sqrt(x)
+                    """
+                }
+            )
+        )
+        node = graph.node("pkg.a.f")
+        assert node.calls == ()
+        assert "numpy.sqrt" in node.unresolved
+
+
+class TestShipments:
+    def test_resolved_shipment(self):
+        graph = build_graph(make_modules(CHAIN))
+        ships = [s for s in graph.shipments if s.sink == "map_tasks"]
+        assert len(ships) == 1
+        assert ships[0].target == "pkg.work.task"
+        assert not ships[0].unpicklable
+
+    def test_lambda_shipment_is_unpicklable(self):
+        graph = build_graph(
+            make_modules(
+                {
+                    "pkg.a": """
+                    from pkg.pool import map_tasks
+
+                    def sweep(items):
+                        return map_tasks(lambda x: x, items, 2)
+                    """,
+                    "pkg.pool": CHAIN["pkg.pool"],
+                }
+            )
+        )
+        (ship,) = graph.shipments
+        assert ship.unpicklable
+        assert ship.target is None or "<lambda" in ship.target
+
+    def test_opaque_argument_ships_unresolved(self):
+        graph = build_graph(
+            make_modules(
+                {
+                    "pkg.a": """
+                    from pkg.pool import map_tasks
+
+                    def sweep(fn, items):
+                        return map_tasks(fn, items, 2)
+                    """,
+                    "pkg.pool": CHAIN["pkg.pool"],
+                }
+            )
+        )
+        (ship,) = graph.shipments
+        assert ship.target is None
+        assert ship.arg == "fn"
+
+
+class TestReachability:
+    def test_three_module_path(self):
+        graph = build_graph(make_modules(CHAIN))
+        paths = graph.reachable(["pkg.work.task"])
+        assert paths["pkg.store.put"] == (
+            "pkg.work.task",
+            "pkg.mid.step",
+            "pkg.store.put",
+        )
+
+    def test_unknown_root_is_ignored(self):
+        graph = build_graph(make_modules(CHAIN))
+        assert graph.reachable(["pkg.ghost.fn"]) == {}
+
+
+class TestCache:
+    def test_source_key_tracks_content(self):
+        mods = make_modules(CHAIN)
+        assert source_key(mods) == source_key(make_modules(CHAIN))
+        edited = dict(CHAIN)
+        edited["pkg.store"] += "X = 1\n"
+        assert source_key(mods) != source_key(make_modules(edited))
+
+    def test_warm_hit_is_byte_identical(self, tmp_path):
+        mods = make_modules(CHAIN)
+        key = source_key(mods)
+        cold = project_graph(mods, cache_dir=tmp_path)
+        artifact = tmp_path / f"callgraph-{key[:16]}.json"
+        assert artifact.exists()
+        warm = project_graph(mods, cache_dir=tmp_path)
+        assert graph_to_bytes(warm, key) == graph_to_bytes(cold, key)
+        assert artifact.read_bytes() == graph_to_bytes(cold, key)
+
+    def test_corrupt_cache_cold_rebuild_byte_identical(self, tmp_path):
+        mods = make_modules(CHAIN)
+        key = source_key(mods)
+        project_graph(mods, cache_dir=tmp_path)
+        artifact = tmp_path / f"callgraph-{key[:16]}.json"
+        pristine = artifact.read_bytes()
+
+        for damage in (b"{ not json", b"", pristine[: len(pristine) // 2]):
+            artifact.write_bytes(damage)
+            graph = project_graph(mods, cache_dir=tmp_path)
+            assert graph_to_bytes(graph, key) == pristine
+            assert artifact.read_bytes() == pristine
+
+    def test_stale_schema_or_key_is_a_miss(self, tmp_path):
+        mods = make_modules(CHAIN)
+        key = source_key(mods)
+        project_graph(mods, cache_dir=tmp_path)
+        artifact = tmp_path / f"callgraph-{key[:16]}.json"
+        payload = json.loads(artifact.read_text())
+        payload["key"] = "0" * 64
+        artifact.write_text(json.dumps(payload))
+        graph = project_graph(mods, cache_dir=tmp_path)
+        assert graph_to_bytes(graph, key) == artifact.read_bytes()
+
+    def test_no_cache_dir_builds_in_memory(self):
+        mods = make_modules(CHAIN)
+        graph = project_graph(mods, cache_dir=None)
+        assert graph.node("pkg.work.task") is not None
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        mods = make_modules(CHAIN)
+        graph = build_graph(mods)
+        key = source_key(mods)
+        clone = CallGraph.from_json(graph.to_json(key))
+        assert graph_to_bytes(clone, key) == graph_to_bytes(graph, key)
+
+
+class TestIndexFunctions:
+    def test_every_callable_indexed_with_live_nodes(self):
+        mods = make_modules(CHAIN)
+        functions = index_functions(mods)
+        assert "pkg.work.task" in functions
+        info, node = functions["pkg.work.task"]
+        assert info.module == "pkg.work"
+        assert isinstance(node, ast.FunctionDef)
+        assert node.name == "task"

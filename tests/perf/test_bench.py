@@ -69,6 +69,12 @@ class TestPinnedWorkloads:
             < result["noc_engine_legacy"]["seconds"]
         )
 
+    def test_lint_bench_smoke(self):
+        result = bench.bench_lint(quick=True)
+        assert set(result) == {"lint_deep"}
+        assert result["lint_deep"]["seconds"] > 0
+        assert result["lint_deep"]["meta"]["cache"] == "cold"
+
     def test_routing_sweep_bench_asserts_identity(self):
         result = bench.bench_routing_sweep(quick=True, workers=1)
         assert set(result) == {
