@@ -19,6 +19,10 @@ Usage::
                                           # stop-when-confident interval
                                           # estimation
                                           # (see docs/verification.md)
+    python -m repro service --checkpoint svc.json [--resume|--status]
+                                          # long-running service with
+                                          # open-ended arrivals
+                                          # (see docs/robustness.md)
 """
 
 from __future__ import annotations
@@ -55,6 +59,10 @@ def main(argv=None) -> int:
         from repro.exp.verify.cli import main as verify_main
 
         return verify_main(argv[1:])
+    if argv and argv[0] == "service":
+        from repro.runtime.service.cli import main as service_main
+
+        return service_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the PARM (DAC 2018) evaluation figures.",
@@ -71,7 +79,7 @@ def main(argv=None) -> int:
         metavar="SECTION",
         help=(
             "subset of: fig1 fig3a fig3b fig67 fig8 overhead ablations "
-            "extensions faults routing verify"
+            "extensions faults routing verify traffic"
         ),
     )
     parser.add_argument(

@@ -24,7 +24,11 @@ against a committed baseline (see ``docs/performance.md``):
   results are asserted identical before timings are recorded);
 * ``verify_sequential`` / ``verify_splitting`` - the stop-when-confident
   sequential estimator and the rare-event importance-splitting run on
-  the PDN emergency estimand (see ``docs/verification.md``).
+  the PDN emergency estimand (see ``docs/verification.md``);
+* ``service_stream`` - one overload epoch of the streaming service
+  engine (~100k arrivals quick, >= 1M full); before the time is
+  recorded the run must hold the O(1)-state guarantee - same stats
+  scalar count as a light epoch and a bounded serialised state.
 
 Benchmark workloads are pinned (fixed seeds, sizes and cell specs), so
 two runs on the same machine measure the same work; only the wall time
@@ -386,6 +390,74 @@ def bench_lint(quick: bool) -> Dict[str, Dict[str, Any]]:
     }
 
 
+def bench_service(quick: bool) -> Dict[str, Dict[str, Any]]:
+    from repro.apps.suite import ProfileLibrary
+    from repro.chip import default_chip
+    from repro.runtime.service.arrivals import PoissonProcess
+    from repro.runtime.service.config import ServiceConfig
+    from repro.runtime.service.engine import ServiceEngine, ServiceState
+    from repro.runtime.simulator import SimulatorContext
+
+    chip = default_chip()
+    library = ProfileLibrary()
+    context = SimulatorContext.for_chip(chip)
+    epoch_s = 0.25
+    rate_hz = 420_000.0 if quick else 4_200_000.0
+    arrival_floor = 100_000 if quick else 1_000_000
+
+    def epoch_state(rate: float) -> ServiceState:
+        config = ServiceConfig(
+            arrival=PoissonProcess(rate_hz=rate),
+            epochs=1,
+            epoch_duration_s=epoch_s,
+            root_seed=7,
+        )
+        engine = ServiceEngine(
+            config, chip=chip, library=library, context=context
+        )
+        state = ServiceState(config)
+        engine.run_epoch(state)
+        return state
+
+    # A light epoch first: warms the profile/WCET caches out of the
+    # timed region and pins the scalar-count yardstick the overload run
+    # is checked against.
+    light = epoch_state(2_000.0)
+
+    captured: Dict[str, ServiceState] = {}
+
+    def stream() -> None:
+        captured["state"] = epoch_state(rate_hz)
+
+    seconds = _time_best(stream, 2 if quick else 1)
+
+    heavy = captured["state"]
+    arrivals = heavy.stats.total("arrived")
+    if arrivals < arrival_floor:
+        raise RuntimeError(
+            f"service benchmark underran its arrival floor: "
+            f"{arrivals} < {arrival_floor}"
+        )
+    if heavy.stats.scalar_count() != light.stats.scalar_count():
+        raise RuntimeError("service stats state grew with arrival count")
+    state_b = len(json.dumps(heavy.to_json(), sort_keys=True))
+    if state_b > 150_000:
+        raise RuntimeError(
+            f"service state is not O(1) under overload: {state_b} bytes"
+        )
+    return {
+        "service_stream": {
+            "seconds": seconds,
+            "meta": {
+                "arrivals": int(arrivals),
+                "epoch_s": epoch_s,
+                "rate_hz": rate_hz,
+                "state_b": state_b,
+            },
+        }
+    }
+
+
 def run_suite(
     quick: bool = False,
     workers: int = 4,
@@ -408,6 +480,8 @@ def run_suite(
         benchmarks.update(bench_routing_sweep(quick, workers))
     if "verify" not in skip:
         benchmarks.update(bench_verify(quick))
+    if "service" not in skip:
+        benchmarks.update(bench_service(quick))
 
     derived: Dict[str, float] = {}
     pairs = (
@@ -505,9 +579,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--skip",
         nargs="+",
         default=[],
-        choices=["campaign", "e2e", "routing", "verify"],
+        choices=["campaign", "e2e", "routing", "verify", "service"],
         metavar="SUITE",
-        help="skip the slow suites (campaign, e2e, routing, verify)",
+        help=(
+            "skip the slow suites "
+            "(campaign, e2e, routing, verify, service)"
+        ),
     )
     return parser
 

@@ -36,7 +36,11 @@ from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_context
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+import numpy as np
+
+from repro.faults.recovery import RecoveryPolicy
 from repro.harness.errors import ConfigError, ReproError, WorkerCrash
+from repro.harness.seeding import derive_seed
 from repro.harness.supervisor import (
     SupervisedCell,
     CellExecutor,
@@ -67,6 +71,7 @@ WORKER_ROOTS = (
     "repro.harness.supervisor.default_cell_runner",
     "repro.perf.parallel._pool_run_cell",
     "repro.perf.parallel._worker_init",
+    "repro.runtime.service.campaign.run_service_epoch",
 )
 
 #: Per-process cell executor, built once by :func:`_worker_init` when
@@ -115,10 +120,57 @@ def _task_context(index: int, task: Any, exc: BaseException) -> Dict[str, Any]:
     }
 
 
+class _MapRetryBudget:
+    """Per-task attempt accounting for :func:`map_tasks` retries.
+
+    Each task index owns an independent retry budget.  The backoff
+    before attempt ``k`` of task ``i`` is the supervisor's jittered
+    exponential schedule seeded by ``derive_seed(retry_seed,
+    "perf/map-retry/attempt<k>", i)`` - a pure function of ``(seed,
+    index, attempt)``, so the recorded delays are identical however the
+    failures interleave across workers and rounds.
+    """
+
+    def __init__(
+        self,
+        retries: int,
+        retry_seed: int,
+        sleep_fn: Optional[Callable[[float], None]],
+    ) -> None:
+        self._retries = retries
+        self._retry_seed = retry_seed
+        self._sleep_fn = sleep_fn
+        self._attempts: Dict[int, int] = {}
+
+    def charge(
+        self, index: int, task: Any, exc: BaseException, reason: str
+    ) -> None:
+        """Record one failed attempt; raise when the budget is spent."""
+        used = self._attempts.get(index, 0) + 1
+        self._attempts[index] = used
+        if used > self._retries:
+            raise WorkerCrash(
+                reason,
+                attempts=used,
+                **_task_context(index, task, exc),
+            ) from exc
+        rng = np.random.default_rng(
+            derive_seed(
+                self._retry_seed, f"perf/map-retry/attempt{used - 1}", index
+            )
+        )
+        backoff_s = RecoveryPolicy().jittered_backoff_s(used - 1, rng)
+        if self._sleep_fn is not None:
+            self._sleep_fn(backoff_s)
+
+
 def map_tasks(
     fn: Callable[[Any], Any],
     tasks: Sequence[Any],
     workers: int,
+    retries: int = 0,
+    retry_seed: int = 0,
+    sleep_fn: Optional[Callable[[float], None]] = None,
 ) -> List[Any]:
     """Map a pure, module-level ``fn`` over ``tasks``; results in order.
 
@@ -128,6 +180,7 @@ def map_tasks(
     applies: ``fn`` must be a pure function of its task (no wall clock,
     no shared RNG), so the result list is identical for any ``workers``
     value - parallelism changes wall-clock time only, never bytes.
+    Results are merged by task index, so retries reorder nothing.
 
     Failures are classified like :func:`run_cells` outcomes are: a task
     raising a non-taxonomy exception, or a worker process dying outright
@@ -136,6 +189,14 @@ def map_tasks(
     and repr - never a bare traceback with no hint of which input died.
     Taxonomy errors raised by ``fn`` itself propagate unchanged.
 
+    With ``retries > 0`` each task additionally owns a bounded retry
+    budget: a crashed or raising task is resubmitted (to a fresh pool
+    when the previous one broke) after a jittered exponential backoff
+    seeded from ``(retry_seed, task index, attempt)`` - see
+    :class:`_MapRetryBudget`.  A worker death charges one attempt to
+    *every* task that was submitted and unfinished at the time, since
+    the pool cannot tell which input killed the process.
+
     Args:
         fn: Module-level callable (must be picklable for ``spawn``
             workers) mapping one task to one result.
@@ -143,31 +204,45 @@ def map_tasks(
             ``workers > 1``.
         workers: Worker process count; capped at ``len(tasks)``.  ``1``
             runs in-process with identical semantics.
+        retries: Extra attempts per task beyond the first (default 0:
+            fail fast, the historical behaviour).
+        retry_seed: Root seed of the backoff jitter streams.
+        sleep_fn: Receives each backoff delay in seconds; ``None`` (the
+            default) records no delay and retries immediately, which
+            keeps tests and deterministic replays instant.
 
     Returns:
         ``[fn(t) for t in tasks]`` in task order, regardless of
         completion order.
 
     Raises:
-        ConfigError: on ``workers < 1`` or an unpicklable ``fn``.
-        WorkerCrash: when a task raises a non-taxonomy exception or its
-            worker process dies; context identifies the task.
+        ConfigError: on ``workers < 1``, ``retries < 0``, or an
+            unpicklable ``fn``.
+        WorkerCrash: when a task exhausts its attempts raising
+            non-taxonomy exceptions or losing worker processes; context
+            identifies the task and attempt count.
     """
     tasks = list(tasks)
     if workers < 1:
         raise ConfigError("workers must be >= 1", workers=workers)
+    if retries < 0:
+        raise ConfigError("retries must be >= 0", retries=retries)
+    budget = _MapRetryBudget(retries, retry_seed, sleep_fn)
     if workers == 1 or len(tasks) <= 1:
         results = []
         for index, task in enumerate(tasks):
-            try:
-                results.append(fn(task))
-            except ReproError:
-                raise
-            except Exception as exc:
-                raise WorkerCrash(
-                    "task raised inside its worker",
-                    **_task_context(index, task, exc),
-                ) from exc
+            while True:
+                try:
+                    results.append(fn(task))
+                    break
+                except ReproError:
+                    raise
+                # Charged to the retry budget, re-raised as a
+                # WorkerCrash when it runs out.
+                except Exception as exc:  # parmlint: ok[broad-except]
+                    budget.charge(
+                        index, task, exc, "task raised inside its worker"
+                    )
         return results
     try:
         pickle.dumps(fn)
@@ -178,34 +253,52 @@ def map_tasks(
             fn=repr(fn),
             error=str(exc),
         ) from exc
-    pool = ProcessPoolExecutor(  # parmlint: ok[process-pool]
-        max_workers=min(workers, len(tasks)),
-        mp_context=get_context(START_METHOD),
-    )
-    try:
-        futures = [pool.submit(fn, task) for task in tasks]
-        results = []
-        for index, future in enumerate(futures):
-            try:
-                results.append(future.result())
-            except ReproError:
-                raise
-            except BrokenProcessPool as exc:
-                # The worker *process* died before returning (OOM kill,
-                # segfault, interpreter abort); the task is the one that
-                # was in flight when it happened.
-                raise WorkerCrash(
-                    "worker process died before completing its task",
-                    **_task_context(index, tasks[index], exc),
-                ) from exc
-            except Exception as exc:
-                raise WorkerCrash(
-                    "task raised inside its worker",
-                    **_task_context(index, tasks[index], exc),
-                ) from exc
-        return results
-    finally:
-        pool.shutdown(wait=False, cancel_futures=True)
+
+    results_by_index: Dict[int, Any] = {}
+    unfinished = list(range(len(tasks)))
+    while unfinished:
+        # A fresh pool per round: after a BrokenProcessPool the old pool
+        # is unusable, and failure rounds are rare enough that the spawn
+        # cost does not matter on the happy path (one round, one pool).
+        pool = ProcessPoolExecutor(  # parmlint: ok[process-pool]
+            max_workers=min(workers, len(unfinished)),
+            mp_context=get_context(START_METHOD),
+        )
+        retry_indices: List[int] = []
+        try:
+            futures = {
+                index: pool.submit(fn, tasks[index]) for index in unfinished
+            }
+            for index in unfinished:
+                try:
+                    results_by_index[index] = futures[index].result()
+                except ReproError:
+                    raise
+                except BrokenProcessPool as exc:
+                    # The worker *process* died before returning (OOM
+                    # kill, segfault, interpreter abort); every future
+                    # still in flight fails with it.
+                    budget.charge(
+                        index,
+                        tasks[index],
+                        exc,
+                        "worker process died before completing its task",
+                    )
+                    retry_indices.append(index)
+                # Charged to the retry budget, re-raised as a
+                # WorkerCrash when it runs out.
+                except Exception as exc:  # parmlint: ok[broad-except]
+                    budget.charge(
+                        index,
+                        tasks[index],
+                        exc,
+                        "task raised inside its worker",
+                    )
+                    retry_indices.append(index)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        unfinished = retry_indices
+    return [results_by_index[index] for index in range(len(tasks))]
 
 
 def run_cells(

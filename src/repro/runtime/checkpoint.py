@@ -140,10 +140,28 @@ def load_payload(path: str, schema: str, version: int) -> Any:
             text = handle.read()
     except OSError as exc:
         raise corrupt("file unreadable", error=str(exc)) from exc
+    if not text:
+        raise corrupt("file is empty", size_b=0)
     try:
         envelope = json.loads(text)
     except json.JSONDecodeError as exc:
-        raise corrupt("not valid JSON", error=str(exc)) from exc
+        # A decode error at the end of the buffer is the signature of a
+        # torn write (truncated envelope); one mid-file is tampering or
+        # an overwrite.  An unterminated string also means the parser
+        # consumed to EOF hunting for the closing quote - the reported
+        # position is the string's *start*, so check the message too.
+        truncated = exc.pos >= len(text.rstrip()) or exc.msg.startswith(
+            "Unterminated string"
+        )
+        reason = "envelope truncated" if truncated else "not valid JSON"
+        raise corrupt(
+            reason,
+            error=exc.msg,
+            offset=exc.pos,
+            line=exc.lineno,
+            column=exc.colno,
+            size_b=len(text.encode("utf-8")),
+        ) from exc
     if not isinstance(envelope, dict):
         raise corrupt("envelope is not an object")
     missing = [key for key in _ENVELOPE_KEYS if key not in envelope]

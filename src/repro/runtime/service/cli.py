@@ -1,0 +1,227 @@
+"""``python -m repro service`` - overload-resilient service campaigns.
+
+Usage::
+
+    python -m repro service --checkpoint svc.json               # run
+    python -m repro service --checkpoint svc.json --resume      # resume
+    python -m repro service --checkpoint svc.json --status      # inspect
+    python -m repro service --checkpoint svc.json \\
+        --framework PARM+PANR --arrival mmpp --rate 6 \\
+        --burst-rate 24 --epochs 8 --epoch-s 2.0 --seed 7 \\
+        --json-out traffic.json
+
+Exit codes: ``0`` - the campaign ran (or resumed) to completion;
+``1`` - an epoch exhausted its retry budget; ``2`` - configuration or
+checkpoint error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.faults.recovery import RecoveryPolicy
+from repro.harness.errors import CheckpointCorrupt, ConfigError, ReproError
+from repro.harness.supervisor import SupervisorPolicy
+from repro.runtime.service.arrivals import (
+    ArrivalProcess,
+    DiurnalProcess,
+    MmppProcess,
+    PoissonProcess,
+)
+from repro.runtime.service.campaign import ServiceCampaign, traffic_json
+from repro.runtime.service.config import ServiceConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro service",
+        description=(
+            "Run a long-running service campaign with open-ended "
+            "arrivals, admission control and load shedding "
+            "(see docs/robustness.md)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint",
+        required=True,
+        metavar="PATH",
+        help="epoch checkpoint file (written after every epoch)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore checkpointed epochs instead of re-executing them",
+    )
+    parser.add_argument(
+        "--status",
+        action="store_true",
+        help="print checkpoint progress and exit without running",
+    )
+    parser.add_argument(
+        "--framework",
+        default="PARM+PANR",
+        metavar="NAME",
+        help="evaluation framework (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workload",
+        default="mixed",
+        choices=("compute", "communication", "mixed"),
+        help="benchmark pool (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--arrival",
+        default="poisson",
+        choices=("poisson", "mmpp", "diurnal"),
+        help="arrival process shape (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=4.0,
+        metavar="HZ",
+        help="arrival rate: Poisson rate, MMPP calm rate, or diurnal "
+        "base rate (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--burst-rate",
+        type=float,
+        default=None,
+        metavar="HZ",
+        help="MMPP burst-phase rate (default: 4x --rate)",
+    )
+    parser.add_argument(
+        "--epochs",
+        type=int,
+        default=4,
+        metavar="N",
+        help="supervised epochs (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--epoch-s",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="simulated seconds per epoch (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="root seed of every derived stream (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retry budget per epoch beyond the first attempt "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--json-out",
+        metavar="PATH",
+        help="write the traffic payload as canonical JSON",
+    )
+    return parser
+
+
+def build_arrival(args: argparse.Namespace) -> ArrivalProcess:
+    if args.arrival == "poisson":
+        return PoissonProcess(rate_hz=args.rate)
+    if args.arrival == "mmpp":
+        burst = args.burst_rate if args.burst_rate else 4.0 * args.rate
+        return MmppProcess(
+            calm_rate_hz=args.rate,
+            burst_rate_hz=burst,
+            calm_dwell_s=2.0,
+            burst_dwell_s=0.5,
+        )
+    return DiurnalProcess(base_rate_hz=args.rate, period_s=8.0)
+
+
+def build_config(args: argparse.Namespace) -> ServiceConfig:
+    return ServiceConfig(
+        framework=args.framework,
+        workload=args.workload,
+        arrival=build_arrival(args),
+        epoch_duration_s=args.epoch_s,
+        epochs=args.epochs,
+        root_seed=args.seed,
+    )
+
+
+def _print_summary(payload: dict) -> None:
+    totals = payload["totals"]
+    print(
+        f"service finished: {totals['arrived']} arrived, "
+        f"{totals['completed']} completed, "
+        f"drop {totals['drop_fraction']:.3f}, "
+        f"shed {totals['shed_fraction']:.3f}, "
+        f"util {totals['utilization_fraction']:.3f}, "
+        f"peak PSN {totals['peak_psn_pct']:.2f}%"
+    )
+    for name, row in payload["classes"].items():
+        print(
+            f"  {name}: completed {row['counters']['completed']}, "
+            f"SLA miss {row['sla_miss_fraction']:.3f}, "
+            f"wait p95 {row['wait_p95_s']:.3f}s"
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        campaign = ServiceCampaign(
+            build_config(args),
+            args.checkpoint,
+            policy=SupervisorPolicy(
+                recovery=RecoveryPolicy(max_remap_retries=args.retries)
+            ),
+        )
+    except (ConfigError, ValueError) as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.status:
+        try:
+            status = campaign.status()
+        except CheckpointCorrupt as exc:
+            print(f"checkpoint error: {exc}", file=sys.stderr)
+            return 2
+        print(f"checkpoint: {status['checkpoint']}")
+        if not status["exists"]:
+            print("no checkpoint on disk; every epoch is pending")
+        print(
+            f"epochs: {status['epochs']}  completed: {status['completed']}  "
+            f"failed: {status['failed']}"
+        )
+        return 0
+
+    try:
+        payload = campaign.run(resume=args.resume)
+    except ConfigError as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return 2
+    except CheckpointCorrupt as exc:
+        print(f"checkpoint error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"service campaign failed: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            handle.write(traffic_json(payload))
+        print(f"wrote {args.json_out}")
+    _print_summary(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,364 @@
+"""Service configuration: priority classes and the robustness control plane.
+
+A :class:`ServiceConfig` is the complete, JSON-serialisable description
+of one service run: which (mapper, router) framework serves the
+traffic, the arrival process, the priority classes (SLA slack, queue
+share, best-effort flag), the admission/shedding policies, the
+re-admission backoff (riding :class:`~repro.faults.recovery.
+RecoveryPolicy`), and an optional scheduled fault script.  Its
+:meth:`~ServiceConfig.spec` is canonical (sorted keys) and is hashed
+into every epoch cell's identity, so two runs with the same config and
+seed are the same run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+from repro.faults.recovery import RecoveryPolicy
+from repro.harness.errors import ConfigError
+from repro.runtime.service.arrivals import (
+    ArrivalProcess,
+    arrival_process_from_spec,
+)
+
+#: Fault kinds the service's scheduled fault script understands.
+SERVICE_FAULT_KINDS = (
+    "tile_fail",
+    "router_fail",
+    "sensor_dead",
+    "sensor_stuck",
+)
+
+
+@dataclass(frozen=True)
+class ServiceClass:
+    """One priority class of the service.
+
+    Attributes:
+        name: Class label (also the stats key).
+        share_fraction: Probability an arrival belongs to this class;
+            shares must sum to 1 across the configured classes.
+        slack_scale: Mean deadline slack as a multiple of the profile's
+            fastest WCET (the per-arrival slack jitters +-25 % around
+            it).  Smaller means a tighter SLA.
+        best_effort: Best-effort work has no SLA protection: it is the
+            first to be shed under saturation or PSN emergencies and
+            may be preempted so an SLA-class head can map.
+        queue_cap: Admission bound on this class's waiting queue.
+    """
+
+    name: str
+    share_fraction: float
+    slack_scale: float
+    best_effort: bool = False
+    queue_cap: int = 32
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("class name must be non-empty")
+        if not 0.0 < self.share_fraction <= 1.0:
+            raise ConfigError(
+                "share_fraction must lie in (0, 1]",
+                cls=self.name,
+                share_fraction=self.share_fraction,
+            )
+        if not self.slack_scale >= 1.0:
+            raise ConfigError(
+                "slack_scale must be >= 1",
+                cls=self.name,
+                slack_scale=self.slack_scale,
+            )
+        if self.queue_cap < 1:
+            raise ConfigError(
+                "queue_cap must be positive",
+                cls=self.name,
+                queue_cap=self.queue_cap,
+            )
+
+    def spec(self) -> Dict[str, Any]:
+        return {
+            "best_effort": bool(self.best_effort),
+            "name": self.name,
+            "queue_cap": int(self.queue_cap),
+            "share_fraction": float(self.share_fraction),
+            "slack_scale": float(self.slack_scale),
+        }
+
+
+#: Default three-tier class mix: latency-critical, standard, batch.
+DEFAULT_CLASSES = (
+    ServiceClass("gold", share_fraction=0.2, slack_scale=2.5, queue_cap=16),
+    ServiceClass("silver", share_fraction=0.5, slack_scale=5.0, queue_cap=32),
+    ServiceClass(
+        "batch",
+        share_fraction=0.3,
+        slack_scale=10.0,
+        best_effort=True,
+        queue_cap=64,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """When an arriving application is admitted to its class queue.
+
+    Attributes:
+        reject_infeasible: Reject on arrival when no operating point
+            can meet the deadline even on an idle chip (the queued app
+            would only be dropped later).
+        max_total_queue: Chip-wide backlog bound across all classes;
+            arrivals beyond it are rejected regardless of class caps.
+        max_readmit: Bound on applications awaiting re-admission
+            (preempted, shed, or fault-evicted).  Evictions past the
+            bound fail the application immediately instead of queueing
+            it - without this, sustained overload grows the re-admission
+            set without limit and the state stops being O(1).
+    """
+
+    reject_infeasible: bool = True
+    max_total_queue: int = 96
+    max_readmit: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_total_queue < 1:
+            raise ConfigError(
+                "max_total_queue must be positive",
+                max_total_queue=self.max_total_queue,
+            )
+        if self.max_readmit < 1:
+            raise ConfigError(
+                "max_readmit must be positive", max_readmit=self.max_readmit
+            )
+
+    def spec(self) -> Dict[str, Any]:
+        return {
+            "max_readmit": int(self.max_readmit),
+            "max_total_queue": int(self.max_total_queue),
+            "reject_infeasible": bool(self.reject_infeasible),
+        }
+
+
+@dataclass(frozen=True)
+class SheddingPolicy:
+    """When the service sheds best-effort load to protect SLA classes.
+
+    Attributes:
+        backlog_fraction: Shed queued best-effort work when the total
+            backlog exceeds this fraction of ``max_total_queue``.
+        psn_threshold_pct: Shed *running* best-effort work while the
+            worst trusted sensor reading exceeds this PSN level (a
+            voltage-emergency guard above the paper's 5 % margin).
+        max_shed_per_event: Bound on running apps shed per refresh, so
+            one noisy interval cannot flush the chip.
+    """
+
+    backlog_fraction: float = 0.75
+    psn_threshold_pct: float = 6.5
+    max_shed_per_event: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.backlog_fraction <= 1.0:
+            raise ConfigError(
+                "backlog_fraction must lie in (0, 1]",
+                backlog_fraction=self.backlog_fraction,
+            )
+        if self.psn_threshold_pct <= 0:
+            raise ConfigError(
+                "psn_threshold_pct must be positive",
+                psn_threshold_pct=self.psn_threshold_pct,
+            )
+        if self.max_shed_per_event < 1:
+            raise ConfigError(
+                "max_shed_per_event must be positive",
+                max_shed_per_event=self.max_shed_per_event,
+            )
+
+    def spec(self) -> Dict[str, Any]:
+        return {
+            "backlog_fraction": float(self.backlog_fraction),
+            "max_shed_per_event": int(self.max_shed_per_event),
+            "psn_threshold_pct": float(self.psn_threshold_pct),
+        }
+
+
+@dataclass(frozen=True)
+class ServiceFault:
+    """One scheduled fault in the service's fault script."""
+
+    time_s: float
+    kind: str
+    target: int
+    value_pct: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ConfigError("fault time must be non-negative")
+        if self.kind not in SERVICE_FAULT_KINDS:
+            raise ConfigError(
+                "unknown service fault kind",
+                kind=self.kind,
+                known=SERVICE_FAULT_KINDS,
+            )
+        if self.target < 0:
+            raise ConfigError("fault target must be a tile id")
+
+    def spec(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "target": int(self.target),
+            "time_s": float(self.time_s),
+            "value_pct": float(self.value_pct),
+        }
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything one service run depends on (seed included).
+
+    Attributes:
+        framework: Evaluation framework name (e.g. ``"PARM+PANR"``).
+        workload: Benchmark pool (``compute``/``communication``/
+            ``mixed``).
+        arrival: Open-ended arrival process.
+        classes: Priority classes; shares must sum to 1.
+        admission: Admission-control policy.
+        shedding: Load-shedding policy.
+        recovery: Re-admission retry/backoff budget for preempted,
+            shed, and fault-evicted applications.
+        epoch_duration_s: Simulated seconds per supervised epoch (the
+            checkpoint granularity).
+        epochs: Number of epochs in the campaign.
+        root_seed: Root of every derived seed stream.
+        contention_scale: NoC-contention proxy strength: execution
+            estimates scale by ``1 + contention_scale *
+            occupied_fraction`` (the service loop trades the per-flow
+            analytical NoC for this calibrated occupancy proxy).
+        faults: Scheduled fault script (sorted by time).
+    """
+
+    framework: str = "PARM+PANR"
+    workload: str = "mixed"
+    arrival: ArrivalProcess = None  # type: ignore[assignment]
+    classes: Tuple[ServiceClass, ...] = DEFAULT_CLASSES
+    admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    shedding: SheddingPolicy = field(default_factory=SheddingPolicy)
+    recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
+    epoch_duration_s: float = 2.0
+    epochs: int = 4
+    root_seed: int = 0
+    contention_scale: float = 0.5
+    faults: Tuple[ServiceFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        from repro.exp.frameworks import framework as lookup_framework
+
+        try:
+            lookup_framework(self.framework)  # validates the name
+        except KeyError as exc:
+            raise ConfigError(
+                "unknown framework", framework=self.framework, error=str(exc)
+            ) from exc
+        if self.workload not in ("compute", "communication", "mixed"):
+            raise ConfigError("unknown workload", workload=self.workload)
+        if self.arrival is None:
+            raise ConfigError("an arrival process is required")
+        if not self.classes:
+            raise ConfigError("at least one priority class is required")
+        names = [c.name for c in self.classes]
+        if len(set(names)) != len(names):
+            raise ConfigError("class names must be unique", names=names)
+        share = sum(c.share_fraction for c in self.classes)
+        if abs(share - 1.0) > 1e-9:
+            raise ConfigError(
+                "class shares must sum to 1", share_sum=share
+            )
+        if not self.epoch_duration_s > 0:
+            raise ConfigError(
+                "epoch_duration_s must be positive",
+                epoch_duration_s=self.epoch_duration_s,
+            )
+        if self.epochs < 1:
+            raise ConfigError("epochs must be positive", epochs=self.epochs)
+        if self.contention_scale < 0:
+            raise ConfigError(
+                "contention_scale must be non-negative",
+                contention_scale=self.contention_scale,
+            )
+        if any(
+            self.faults[i].time_s > self.faults[i + 1].time_s
+            for i in range(len(self.faults) - 1)
+        ):
+            raise ConfigError("fault script must be sorted by time")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def class_names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self.classes)
+
+    def cls(self, name: str) -> ServiceClass:
+        for c in self.classes:
+            if c.name == name:
+                return c
+        raise ConfigError("unknown class", cls=name)
+
+    @property
+    def horizon_s(self) -> float:
+        return self.epoch_duration_s * self.epochs
+
+    def spec(self) -> Dict[str, Any]:
+        """Canonical JSON description (hashed into epoch cell keys)."""
+        return {
+            "admission": self.admission.spec(),
+            "arrival": self.arrival.spec(),
+            "classes": [c.spec() for c in self.classes],
+            "contention_scale": float(self.contention_scale),
+            "epoch_duration_s": float(self.epoch_duration_s),
+            "epochs": int(self.epochs),
+            "faults": [f.spec() for f in self.faults],
+            "framework": self.framework,
+            "recovery": {
+                "backoff_factor": float(self.recovery.backoff_factor),
+                "backoff_initial_s": float(self.recovery.backoff_initial_s),
+                "max_remap_retries": int(self.recovery.max_remap_retries),
+                "max_total_remaps": int(self.recovery.max_total_remaps),
+                "per_task_restart_cost_s": float(
+                    self.recovery.per_task_restart_cost_s
+                ),
+            },
+            "root_seed": int(self.root_seed),
+            "shedding": self.shedding.spec(),
+            "workload": self.workload,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any]) -> "ServiceConfig":
+        """Rebuild a config from its :meth:`spec` dictionary."""
+        return cls(
+            framework=spec["framework"],
+            workload=spec["workload"],
+            arrival=arrival_process_from_spec(spec["arrival"]),
+            classes=tuple(
+                ServiceClass(
+                    name=c["name"],
+                    share_fraction=c["share_fraction"],
+                    slack_scale=c["slack_scale"],
+                    best_effort=c["best_effort"],
+                    queue_cap=c["queue_cap"],
+                )
+                for c in spec["classes"]
+            ),
+            admission=AdmissionPolicy(**spec["admission"]),
+            shedding=SheddingPolicy(**spec["shedding"]),
+            recovery=RecoveryPolicy(**spec["recovery"]),
+            epoch_duration_s=spec["epoch_duration_s"],
+            epochs=spec["epochs"],
+            root_seed=spec["root_seed"],
+            contention_scale=spec["contention_scale"],
+            faults=tuple(
+                ServiceFault(**f) for f in spec.get("faults", ())
+            ),
+        )

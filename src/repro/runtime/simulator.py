@@ -172,6 +172,11 @@ class RuntimeSimulator:
         record_trace: When true, the returned metrics carry a
             ``(time, chip peak PSN, occupied tiles)`` snapshot per
             scheduling event (for time-series analysis and plotting).
+        streaming_stats: When true, terminal application records are
+            folded into the metrics' O(1) counters and dropped as they
+            finish (see :meth:`~repro.runtime.metrics.RunMetrics.retire`),
+            bounding memory for long arrival sequences.  The default
+            keeps every record - required by the per-app CSV export.
         seed: RNG seed for VE sampling.
         max_sim_time_s: Safety horizon; the run aborts past it.
         context: Pre-built chip-derived immutables
@@ -195,6 +200,7 @@ class RuntimeSimulator:
         seed: int = 0,
         max_sim_time_s: float = 600.0,
         record_trace: bool = False,
+        streaming_stats: bool = False,
         context: Optional[SimulatorContext] = None,
     ):
         self._chip = chip
@@ -210,6 +216,7 @@ class RuntimeSimulator:
         self._faults = faults if faults is not None and faults.events else None
         self._recovery = recovery or RecoveryPolicy()
         self._record_trace = record_trace
+        self._streaming_stats = streaming_stats
         self._rng = np.random.default_rng(seed)
         self._max_time = max_sim_time_s
         if context is None:
@@ -229,7 +236,7 @@ class RuntimeSimulator:
     def run(self, arrivals: Sequence[ApplicationArrival]) -> RunMetrics:
         """Execute one workload sequence to completion."""
         state = ChipState(self._chip)
-        metrics = RunMetrics()
+        metrics = RunMetrics(streaming=self._streaming_stats)
         running: Dict[int, _RunningApp] = {}
         queue: List[ApplicationArrival] = []
 
@@ -300,12 +307,14 @@ class RuntimeSimulator:
             if not self._still_feasible(rec.arrival, now):
                 rec.record.dropped_s = now
                 del recovering[aid]
+                metrics.retire(aid)
                 return False
             if rec.record.remap_count >= self._recovery.max_total_remaps:
                 # Lifetime re-map budget spent (the app keeps landing in
                 # fault-broken spots): terminal failure, not churn.
                 rec.record.failed_s = now
                 del recovering[aid]
+                metrics.retire(aid)
                 return False
             rec.attempts += 1
             decision = self._manager.try_remap(
@@ -337,6 +346,7 @@ class RuntimeSimulator:
                 # application as a clean outcome, not an exception.
                 rec.record.failed_s = now
                 del recovering[aid]
+                metrics.retire(aid)
                 return False
             delay = self._recovery.backoff_s(rec.attempts - 1)
             heapq.heappush(
@@ -384,6 +394,7 @@ class RuntimeSimulator:
                     app.record.finished_s = now
                     metrics.total_time_s = max(metrics.total_time_s, now)
                     del running[app_id]
+                    metrics.retire(app_id)
                     occupancy_changed = True
                 # Otherwise a VE pushed the finish out; rescheduled below.
             elif kind == _FAULT:
@@ -423,6 +434,7 @@ class RuntimeSimulator:
                 if not self._still_feasible(head, now):
                     record.dropped_s = now
                     queue.pop(0)
+                    metrics.retire(head.app_id)
                     continue
                 decision = self._manager.try_map(
                     head.profile, head.deadline_s - now, state

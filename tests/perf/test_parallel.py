@@ -103,6 +103,97 @@ class TestMapTasksFailures:
         assert err.context["task"] in ("10", "20")
 
 
+def crash_once_marker(task):
+    """Kill the worker on first sight of the task, succeed after.
+
+    The marker file is the cross-process memory of the injected fault:
+    absent means "not crashed yet".  An empty marker path never crashes.
+    """
+    value, marker = task
+    if marker and not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 2
+
+
+def flaky_until(task):
+    """Raise ValueError until the counter file reaches ``fail_times``."""
+    value, counter_path, fail_times = task
+    count = 0
+    if os.path.exists(counter_path):
+        with open(counter_path, "r", encoding="utf-8") as handle:
+            count = int(handle.read())
+    if count < fail_times:
+        with open(counter_path, "w", encoding="utf-8") as handle:
+            handle.write(str(count + 1))
+        raise ValueError(f"transient failure {count}")
+    return value * 2
+
+
+class TestMapTasksRetries:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ConfigError, match="retries"):
+            map_tasks(crash_on_three, [1], workers=1, retries=-1)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_transient_exception_retried(self, tmp_path, workers):
+        counter = str(tmp_path / "counter")
+        tasks = [(1, str(tmp_path / "c1"), 0), (2, counter, 2)]
+        assert map_tasks(
+            flaky_until, tasks, workers=workers, retries=2
+        ) == [2, 4]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_budget_exhaustion_raises_with_attempts(self, tmp_path, workers):
+        counter = str(tmp_path / "counter")
+        tasks = [(2, counter, 5)]
+        with pytest.raises(WorkerCrash) as info:
+            map_tasks(flaky_until, tasks, workers=workers, retries=2)
+        assert info.value.context["attempts"] == 3
+        assert info.value.context["task_index"] == 0
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_taxonomy_errors_never_retried(self, workers):
+        # A classified error is a deterministic verdict, not a transient
+        # fault; retrying a pure fn on it would just repeat the verdict.
+        with pytest.raises(SolverError, match="already classified"):
+            map_tasks(raise_taxonomy, [1], workers=workers, retries=3)
+
+    def test_sigkilled_worker_retried_and_merge_order_kept(self, tmp_path):
+        # One injected OOM-style kill mid-pool: the broken pool is
+        # rebuilt, unfinished tasks resubmitted, and the merged result
+        # is byte-identical to an undisturbed run.
+        marker = str(tmp_path / "crashed-once")
+        tasks = [(1, ""), (2, marker), (3, ""), (4, "")]
+        result = map_tasks(
+            crash_once_marker, tasks, workers=2, retries=1
+        )
+        assert result == [2, 4, 6, 8]
+        assert os.path.exists(marker)
+
+    def test_backoff_schedule_is_seeded_and_recorded(self, tmp_path):
+        def run(tag):
+            delays = []
+            counter = str(tmp_path / f"counter-{tag}")
+            map_tasks(
+                flaky_until,
+                [(1, counter, 2)],
+                workers=1,
+                retries=2,
+                retry_seed=7,
+                sleep_fn=delays.append,
+            )
+            return delays
+
+        first, second = run("a"), run("b")
+        assert len(first) == 2
+        assert all(d > 0 for d in first)
+        # Exponential growth with jitter, reproduced exactly per seed.
+        assert first[1] > first[0]
+        assert first == second
+
+
 class TestRunCells:
     def test_single_worker_runs_in_process(self):
         outcomes = run_cells(cells(), SupervisorPolicy(), workers=1,

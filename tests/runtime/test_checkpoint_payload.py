@@ -69,13 +69,45 @@ class TestCorruption:
             handle.write("not json {")
         self._expect_corrupt(path, "not valid JSON")
 
-    def test_truncated_file(self, path):
+    def test_zero_byte_file(self, path):
+        with open(path, "w"):
+            pass
+        with pytest.raises(CheckpointCorrupt, match="file is empty") as exc:
+            load_payload(path, schema=SCHEMA, version=VERSION)
+        assert exc.value.context["size_b"] == 0
+
+    @pytest.mark.parametrize("keep_fraction", [0.25, 0.5, 0.9])
+    def test_truncated_envelope(self, path, keep_fraction):
+        # A torn write: the file ends mid-envelope.  The error must name
+        # the truncation and carry the decode offset for forensics.
+        save_payload(path, {"x": 1}, schema=SCHEMA, version=VERSION)
+        with open(path) as handle:
+            text = handle.read()
+        kept = text[: max(1, int(len(text) * keep_fraction))]
+        with open(path, "w") as handle:
+            handle.write(kept)
+        with pytest.raises(
+            CheckpointCorrupt, match="envelope truncated"
+        ) as exc:
+            load_payload(path, schema=SCHEMA, version=VERSION)
+        context = exc.value.context
+        assert context["size_b"] == len(kept.encode("utf-8"))
+        assert 0 <= context["offset"] <= len(kept)
+        assert context["line"] >= 1 and context["column"] >= 1
+
+    def test_mid_file_garbage_is_not_truncation(self, path):
+        # Corruption in the middle of the file is reported as invalid
+        # JSON, not as a torn write.
         save_payload(path, {"x": 1}, schema=SCHEMA, version=VERSION)
         with open(path) as handle:
             text = handle.read()
         with open(path, "w") as handle:
-            handle.write(text[: len(text) // 2])
-        self._expect_corrupt(path, "not valid JSON")
+            handle.write(text.replace('"payload"', "@payload@", 1))
+        with pytest.raises(
+            CheckpointCorrupt, match="not valid JSON"
+        ) as exc:
+            load_payload(path, schema=SCHEMA, version=VERSION)
+        assert exc.value.context["offset"] < len(text)
 
     def test_non_object_envelope(self, path):
         with open(path, "w") as handle:

@@ -1,0 +1,141 @@
+"""End-to-end tests of ``python -m repro service``: exit codes, status
+inspection, and the headline robustness property - SIGKILL mid-campaign
+followed by ``--resume`` produces byte-identical traffic JSON.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.runtime.service.cli import main as service_main
+
+ENV = {**os.environ, "PYTHONPATH": "src"}
+
+#: Heavy enough that the campaign outlives the kill window: sustained
+#: overload across many short epochs.
+CAMPAIGN = [
+    "--rate", "60", "--epochs", "10", "--epoch-s", "0.5", "--seed", "3",
+]
+
+
+def run_cli(args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "service", *args],
+        capture_output=True,
+        text=True,
+        env=ENV,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        timeout=600,
+    )
+
+
+def read_bytes(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+class TestArgumentErrors:
+    def test_missing_checkpoint_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            service_main([])
+        assert info.value.code == 2
+
+    def test_unknown_framework_exits_2(self, tmp_path, capsys):
+        code = service_main(
+            [
+                "--checkpoint", str(tmp_path / "cp.json"),
+                "--framework", "NOPE+XY",
+            ]
+        )
+        assert code == 2
+        assert "configuration error" in capsys.readouterr().err
+
+    def test_corrupt_checkpoint_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "cp.json"
+        path.write_text("not json {")
+        code = service_main(
+            ["--checkpoint", str(path), "--status"]
+        )
+        assert code == 2
+        assert "checkpoint error" in capsys.readouterr().err
+
+    def test_status_without_checkpoint_reports_pending(self, tmp_path, capsys):
+        code = service_main(
+            ["--checkpoint", str(tmp_path / "cp.json"), "--status"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "every epoch is pending" in out
+
+
+class TestSigkillResume:
+    def test_sigkill_then_resume_is_byte_identical(self, tmp_path):
+        # Reference: one uninterrupted campaign.
+        ref_cp = str(tmp_path / "ref.json")
+        ref_json = str(tmp_path / "ref_traffic.json")
+        ref = run_cli(
+            ["--checkpoint", ref_cp, "--json-out", ref_json, *CAMPAIGN]
+        )
+        assert ref.returncode == 0, ref.stderr
+
+        # Victim: same campaign, SIGKILLed once the first epoch has been
+        # checkpointed (polling the file beats guessing a sleep).
+        victim_cp = str(tmp_path / "victim.json")
+        victim_json = str(tmp_path / "victim_traffic.json")
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(__file__))
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "service",
+                "--checkpoint", victim_cp, "--json-out", victim_json,
+                *CAMPAIGN,
+            ],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=ENV,
+            cwd=repo_root,
+        )
+        deadline = time.time() + 300
+        while time.time() < deadline:
+            if os.path.exists(victim_cp) or proc.poll() is not None:
+                break
+            time.sleep(0.005)
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=60)
+
+        killed_mid_run = proc.returncode == -signal.SIGKILL
+        assert os.path.exists(victim_cp), "no checkpoint survived the kill"
+        if killed_mid_run:
+            # The kill landed mid-campaign; the victim cannot have
+            # written its final traffic JSON yet.
+            assert not os.path.exists(victim_json)
+
+        resumed = run_cli(
+            [
+                "--checkpoint", victim_cp, "--resume",
+                "--json-out", victim_json, *CAMPAIGN,
+            ]
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert read_bytes(victim_json) == read_bytes(ref_json)
+
+        # Zero failed epochs, every epoch completed.
+        status = run_cli(["--checkpoint", victim_cp, "--status"])
+        assert status.returncode == 0
+        assert "completed: 10" in status.stdout
+        assert "failed: 0" in status.stdout
+
+        # The payload is canonical JSON with the documented sections.
+        payload = json.loads(read_bytes(ref_json))
+        assert set(payload) == {
+            "classes", "config", "final_state", "schema", "totals",
+            "version",
+        }
+        assert payload["totals"]["arrived"] > 0

@@ -1,0 +1,198 @@
+"""Tests for the bounded-memory streaming statistics of the service
+runtime: P-square accuracy, serialisation round-trips, and the O(1)
+leaf-count guarantee.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime.service.stats import (
+    CLASS_COUNTERS,
+    ClassStats,
+    LatencySummary,
+    P2Quantile,
+    StreamingMoments,
+    TrafficStats,
+)
+
+
+class TestP2Quantile:
+    def test_rejects_degenerate_quantiles(self):
+        for q in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                P2Quantile(q)
+
+    def test_empty_stream_reads_zero(self):
+        assert P2Quantile(0.5).value == 0.0
+
+    def test_small_streams_are_exact(self):
+        est = P2Quantile(0.5)
+        for x in (3.0, 1.0, 2.0):
+            est.add(x)
+        assert est.value == 2.0
+
+    @pytest.mark.parametrize("q", [0.5, 0.95, 0.99])
+    @pytest.mark.parametrize(
+        "sampler",
+        [
+            lambda rng, n: rng.uniform(0.0, 10.0, n),
+            lambda rng, n: rng.exponential(2.0, n),
+            lambda rng, n: rng.lognormal(0.0, 1.0, n),
+        ],
+        ids=["uniform", "exponential", "lognormal"],
+    )
+    def test_tracks_numpy_percentile(self, q, sampler):
+        rng = np.random.default_rng(42)
+        data = sampler(rng, 20000)
+        est = P2Quantile(q)
+        for x in data:
+            est.add(x)
+        exact = float(np.percentile(data, 100.0 * q))
+        spread = float(np.percentile(data, 99.5)) - float(
+            np.percentile(data, 0.5)
+        )
+        # P-square is an approximation; 5 % of the distribution spread
+        # is far tighter than anything the traffic report quotes.
+        assert abs(est.value - exact) <= 0.05 * spread
+
+    def test_monotone_in_quantile(self):
+        rng = np.random.default_rng(7)
+        data = rng.exponential(1.0, 5000)
+        p50, p95, p99 = (P2Quantile(q) for q in (0.5, 0.95, 0.99))
+        for x in data:
+            p50.add(x)
+            p95.add(x)
+            p99.add(x)
+        assert p50.value <= p95.value <= p99.value
+
+    @pytest.mark.parametrize("n", [0, 1, 3, 5, 6, 100])
+    def test_json_round_trip_resumes_identically(self, n):
+        rng = np.random.default_rng(3)
+        head = rng.uniform(0.0, 1.0, n)
+        tail = rng.uniform(0.0, 1.0, 50)
+
+        straight = P2Quantile(0.95)
+        for x in head:
+            straight.add(x)
+        resumed = P2Quantile.from_json(
+            json.loads(json.dumps(straight.to_json()))
+        )
+        for x in tail:
+            straight.add(x)
+            resumed.add(x)
+        assert resumed.to_json() == straight.to_json()
+        assert resumed.value == straight.value
+
+    def test_serialised_leaf_count_is_fixed(self):
+        cold = P2Quantile(0.5)
+        warm = P2Quantile(0.5)
+        for x in range(1000):
+            warm.add(float(x))
+        def leaves(est):
+            payload = est.to_json()
+            return sum(
+                len(v) if isinstance(v, list) else 1
+                for v in payload.values()
+            )
+        assert leaves(cold) == leaves(warm)
+
+
+class TestStreamingMoments:
+    def test_mean_and_max(self):
+        m = StreamingMoments()
+        for x in (1.0, 2.0, 6.0):
+            m.add(x)
+        assert m.mean_s == pytest.approx(3.0)
+        assert m.max_s == 6.0
+        assert StreamingMoments.from_json(m.to_json()).to_json() == m.to_json()
+
+
+class TestLatencySummary:
+    def test_untracked_quantile_raises(self):
+        with pytest.raises(KeyError):
+            LatencySummary().quantile_s(0.42)
+
+    def test_round_trip(self):
+        summary = LatencySummary()
+        for x in np.random.default_rng(0).uniform(0, 5, 200):
+            summary.add(float(x))
+        clone = LatencySummary.from_json(summary.to_json())
+        assert clone.to_json() == summary.to_json()
+        assert clone.quantile_s(0.95) == summary.quantile_s(0.95)
+
+
+class TestClassStats:
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(KeyError):
+            ClassStats().bump("nope")
+
+    def test_round_trip_preserves_counters(self):
+        stats = ClassStats()
+        for name in CLASS_COUNTERS:
+            stats.bump(name, 2)
+        stats.wait.add(0.5)
+        stats.sojourn.add(1.5)
+        stats.busy_tile_s = 7.0
+        assert ClassStats.from_json(stats.to_json()).to_json() == (
+            stats.to_json()
+        )
+
+
+class TestTrafficStats:
+    def make(self):
+        return TrafficStats(("gold", "silver", "batch"))
+
+    def test_requires_classes(self):
+        with pytest.raises(ValueError):
+            TrafficStats(())
+
+    def test_utilization_and_avg_psn(self):
+        stats = self.make()
+        stats.record_interval(1.0, 64, 32, 4.0, 6.0)
+        stats.record_interval(1.0, 64, 0, 0.0, 0.0)
+        assert stats.utilization_fraction == pytest.approx(0.25)
+        assert stats.avg_psn_pct == pytest.approx(4.0)
+        assert stats.peak_psn_pct == 6.0
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().record_interval(-1.0, 64, 0, 0.0, 0.0)
+
+    def test_totals_and_rate_fractions(self):
+        stats = self.make()
+        stats.cls("gold").bump("arrived", 8)
+        stats.cls("batch").bump("arrived", 2)
+        stats.cls("batch").bump("shed", 5)
+        assert stats.total("arrived") == 10
+        assert stats.rate_fraction("shed") == pytest.approx(0.5)
+        assert TrafficStats(("a",)).rate_fraction("shed") == 0.0
+
+    def test_round_trip(self):
+        stats = self.make()
+        stats.cls("gold").bump("completed")
+        stats.cls("gold").wait.add(0.25)
+        stats.record_interval(2.0, 64, 10, 3.0, 5.0)
+        stats.shed_events = 3
+        clone = TrafficStats.from_json(stats.to_json())
+        assert clone.to_json() == stats.to_json()
+
+    def test_scalar_count_independent_of_traffic(self):
+        # The heart of the O(1)-state guarantee: folding 100x more
+        # arrivals must not change the serialised leaf count by a
+        # single scalar.
+        light, heavy = self.make(), self.make()
+        rng = np.random.default_rng(5)
+        for i in range(10):
+            light.cls("gold").bump("arrived")
+            light.cls("gold").wait.add(float(rng.uniform()))
+        for i in range(1000):
+            name = ("gold", "silver", "batch")[i % 3]
+            heavy.cls(name).bump("arrived")
+            heavy.cls(name).wait.add(float(rng.uniform()))
+            heavy.cls(name).sojourn.add(float(rng.uniform()))
+            heavy.record_interval(0.01, 64, i % 64, 2.0, 4.0)
+        assert light.scalar_count() == heavy.scalar_count()
+        # And the count only moves with the class list.
+        assert TrafficStats(("a",)).scalar_count() < light.scalar_count()
