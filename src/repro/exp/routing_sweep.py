@@ -121,16 +121,33 @@ def uniform_random_flows(
 
 
 def run_point(point: SweepPoint) -> PointResult:
-    """Simulate one sweep point (module-level: the ``map_tasks`` task)."""
+    """Simulate one sweep point (module-level: the ``map_tasks`` task).
+
+    Inside a warm pool worker the engine adopts the shared topology and
+    pre-built route table for this mesh/policy when published; both
+    hold exactly the values the engine would compute itself, so the
+    result is byte-identical either way.
+    """
+    from repro.perf.pool import warm_world
+
     mesh = MeshGeometry(point.mesh_width, point.mesh_height)
     flows = uniform_random_flows(
         mesh, point.injection_rate_flits, point.seed, point.packet_size_flits
     )
+    topology = route_table = None
+    world = warm_world()
+    if world is not None:
+        topology = world.topology(point.mesh_width, point.mesh_height)
+        route_table = world.route_table(
+            point.mesh_width, point.mesh_height, point.policy
+        )
     engine = ArrayNocEngine(
         mesh,
         make_routing(point.policy),
         psn_pct=hotspot_psn(mesh),
         seed=point.seed,
+        topology=topology,
+        route_table=route_table,
     )
     stats = engine.run(flows, point.cycles)
     delivered_pct = (

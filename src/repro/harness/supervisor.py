@@ -383,12 +383,21 @@ def _result_row(cell: CampaignCell, fr: Any) -> Dict[str, Any]:
     }
 
 
-def default_cell_runner() -> CellRunner:
+def default_cell_runner(
+    chip: Any = None, library: Any = None
+) -> CellRunner:
     """The production cell runner: one ``run_framework`` call per cell.
 
     The chip description and profile library are built once and shared
     across cells (both are immutable inputs), matching what a manual
     sweep would do.
+
+    Args:
+        chip: Optional pre-built chip description (warm worker pools
+            pass their shared one); ``None`` builds the default.
+        library: Optional pre-built profile library; ``None`` builds a
+            fresh one.  Both defaults are deterministic, so a runner
+            over pre-built inputs is byte-equivalent to the lazy one.
     """
     from repro.apps.suite import ProfileLibrary
     from repro.apps.workload import WorkloadType
@@ -396,8 +405,8 @@ def default_cell_runner() -> CellRunner:
     from repro.exp.frameworks import framework as fw_lookup
     from repro.exp.runner import run_framework
 
-    chip = default_chip()
-    library = ProfileLibrary()
+    chip = default_chip() if chip is None else chip
+    library = ProfileLibrary() if library is None else library
 
     def run(cell: CampaignCell) -> Dict[str, Any]:
         fr = run_framework(
@@ -480,6 +489,18 @@ class CellExecutor:
         if self._runner is None:
             self._runner = self._cell_runner or default_cell_runner()
         return self._runner
+
+    def prewarm(self, runner: CellRunner) -> None:
+        """Adopt a pre-built default runner (warm worker pools).
+
+        Only fills the lazy default slot: a user-supplied
+        ``cell_runner`` always wins, and a runner discarded after a
+        timeout is rebuilt fresh by :meth:`_current_runner` - the
+        adopted runner is never reinstated, preserving the
+        discard-on-timeout isolation rule.
+        """
+        if self._cell_runner is None and self._runner is None:
+            self._runner = runner
 
     def _discard_runner(self) -> None:
         """Drop the default runner after a timed-out attempt.

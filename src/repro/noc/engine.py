@@ -86,6 +86,17 @@ class ArrayNocEngine:
         rate_window: Cycles per data-rate measurement window.
         seed: Injection-process RNG seed (kept for API parity; the
             accumulator injection process is deterministic).
+        topology: Optional pre-built :class:`MeshTopology` to adopt
+            (warm worker pools share one, with shared-memory lookup
+            tables, across every engine a worker builds).  Must match
+            ``mesh``; never mutated.
+        route_table: Optional complete ``(n, n)`` int8 route table for
+            a context-free ``routing`` (see :func:`build_route_table`).
+            Adopted as-is - including read-only shared-memory views -
+            and marked fully built, so the lazy builder never writes
+            to it.  The values must equal what the lazy builder would
+            produce (same policy, same mesh), so results are
+            byte-identical with or without it.
     """
 
     #: Topology-derived lookup tables that the warm-worker-pool plan
@@ -114,10 +125,20 @@ class ArrayNocEngine:
         psn_pct: Optional[np.ndarray] = None,
         rate_window: int = 64,
         seed: int = 0,
+        topology: Optional[MeshTopology] = None,
+        route_table: Optional[np.ndarray] = None,
     ):
         if buffer_depth < 1:
             raise ValueError("buffer_depth must be at least 1")
-        self._topo = MeshTopology(mesh)
+        if topology is None:
+            self._topo = MeshTopology(mesh)
+        else:
+            if (
+                topology.mesh.width != mesh.width
+                or topology.mesh.height != mesh.height
+            ):
+                raise ValueError("adopted topology does not match the mesh")
+            self._topo = topology
         self._routing = routing
         self._depth = buffer_depth
         n = mesh.tile_count
@@ -185,11 +206,23 @@ class ArrayNocEngine:
 
         # Route-table fast path for context-free policies.
         if routing.context_free:
-            self._route_table: Optional[np.ndarray] = np.full(
-                (n, n), -1, np.int8
-            )
-            self._table_built = np.zeros(n, bool)
+            if route_table is not None:
+                if route_table.shape != (n, n):
+                    raise ValueError(
+                        "adopted route table has the wrong shape"
+                    )
+                if route_table.dtype != np.int8:
+                    raise ValueError("adopted route table must be int8")
+                self._route_table: Optional[np.ndarray] = route_table
+                self._table_built = np.ones(n, bool)
+            else:
+                self._route_table = np.full((n, n), -1, np.int8)
+                self._table_built = np.zeros(n, bool)
         else:
+            if route_table is not None:
+                raise ValueError(
+                    "route tables exist only for context-free policies"
+                )
             self._route_table = None
         # Adaptive-policy context caches: per-tile static adjacency
         # (Direction, neighbour tile, neighbour's input port code) and
@@ -533,3 +566,32 @@ class ArrayNocEngine:
                 raise RuntimeError(f"route off mesh edge at tile {tile}")
             out[k] = code
         return out
+
+
+def build_route_table(
+    mesh: MeshGeometry,
+    routing: RoutingAlgorithm,
+    topology: Optional[MeshTopology] = None,
+) -> np.ndarray:
+    """Complete ``(n, n)`` int8 route table of a context-free policy.
+
+    Runs the engine's own lazy column builder for every destination, so
+    the result is byte-for-byte what an engine would build on demand -
+    the warm worker pool publishes these tables into shared memory and
+    engines adopt them via the ``route_table`` constructor argument.
+
+    Args:
+        mesh: Tile mesh.
+        routing: A context-free routing policy.
+        topology: Optional pre-built topology to route over.
+
+    Raises:
+        ValueError: when ``routing`` is adaptive (no table exists).
+    """
+    if not routing.context_free:
+        raise ValueError(
+            "route tables exist only for context-free policies"
+        )
+    engine = ArrayNocEngine(mesh, routing, topology=topology)
+    engine._build_route_columns(np.arange(mesh.tile_count, dtype=np.int64))
+    return engine._route_table

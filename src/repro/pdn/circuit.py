@@ -82,7 +82,9 @@ Waveform = Union[float, Callable[[np.ndarray], np.ndarray]]
 #: (integration stamps, guard behaviour, companion models...).  On-disk
 #: caches of solver-derived artifacts (see :mod:`repro.perf.cache`) key
 #: on it so stale fits are invalidated by a solver upgrade.
-SOLVER_VERSION = 2
+#: v3: the per-step scatter/gather loops became precomputed sparse
+#: operators (summation order changed at double precision).
+SOLVER_VERSION = 3
 
 
 @dataclass
@@ -112,6 +114,17 @@ class _TransientPlan:
     ind_b: np.ndarray
     isrc_f: np.ndarray
     isrc_t: np.ndarray
+    # Precomputed step operators (see _transient_plan): source scatter
+    # (size, n_src, sparse - applied once per solve over the whole
+    # window), capacitor history scatter (size, n_cap) and the
+    # capacitor / inductor terminal-difference gathers.  The three
+    # per-step operators are dense ndarrays for ordinary circuit sizes
+    # (scipy's sparse matvec dispatch costs more than the product
+    # itself there) and stay sparse only for very large systems.
+    src_mat: object = None
+    cap_mat: object = None
+    cap_diff: object = None
+    ind_diff: object = None
 
     #: Plan arrays are shared read-only with pool workers (warm-pool
     #: plan); parmlint's shared-readonly rule bans writes after
@@ -125,6 +138,10 @@ class _TransientPlan:
         "ind_b",
         "isrc_f",
         "isrc_t",
+        "src_mat",
+        "cap_mat",
+        "cap_diff",
+        "ind_diff",
     )
 
 
@@ -411,50 +428,48 @@ class Circuit:
         out[0] = x[:n]
 
         cap_g, ind_r = plan.cap_g, plan.ind_r
-        cap_a, cap_b = plan.cap_a, plan.cap_b
-        ind_a, ind_b = plan.ind_a, plan.ind_b
-        isrc_f, isrc_t = plan.isrc_f, plan.isrc_t
+        cap_mat, cap_diff = plan.cap_mat, plan.cap_diff
+        ind_diff = plan.ind_diff
         lu = plan.lu
+        n_cap = len(self._capacitors)
 
-        def node_v(state: np.ndarray, idx: np.ndarray) -> np.ndarray:
-            v = np.zeros(len(idx))
-            mask = idx >= 0
-            v[mask] = state[idx[mask]]
-            return v
+        # State-independent right-hand sides for every step at once: the
+        # current-source scatter is one sparse matmul over the whole
+        # window, and the voltage-source rows are constant.  Only the
+        # capacitor/inductor history terms remain in the step loop.
+        rhs_steps = np.ascontiguousarray((plan.src_mat @ i_wave).T)
+        rhs_steps[:, n + n_l:] = vsrc_vals
 
         # Capacitor branch current at t=0 (zero at DC steady state).
-        cap_i = np.zeros(len(self._capacitors))
-        cap_v = node_v(x, cap_a) - node_v(x, cap_b)
+        cap_i = np.zeros(n_cap)
+        cap_v = cap_diff @ x
 
-        for step in range(1, n_steps + 1):
-            rhs = np.zeros(size)
-            # Current sources at the *new* time point.
-            i_now = i_wave[:, step]
-            np.add.at(rhs, isrc_f[isrc_f >= 0], -i_now[isrc_f >= 0])
-            np.add.at(rhs, isrc_t[isrc_t >= 0], i_now[isrc_t >= 0])
-            # Capacitor history currents (Norton companion).
-            if len(self._capacitors):
-                hist = cap_g * cap_v + (cap_i if trap else 0.0)
-                np.add.at(rhs, cap_a[cap_a >= 0], hist[cap_a >= 0])
-                np.add.at(rhs, cap_b[cap_b >= 0], -hist[cap_b >= 0])
-            # Inductor history voltages.
-            if n_l:
-                ind_i = x[n:n + n_l]
-                ind_v = node_v(x, ind_a) - node_v(x, ind_b)
-                hist_v = -ind_r * ind_i - (ind_v if trap else 0.0)
-                rhs[n:n + n_l] = hist_v
-            # Voltage source rows.
-            rhs[n + n_l:] = vsrc_vals
+        states = np.empty((n_steps + 1, size))
+        states[0] = x
+        # A diverging integration may overflow to inf/nan mid-window;
+        # the guard below names the first offending step, so arithmetic
+        # on the later poisoned steps must not warn.
+        with np.errstate(over="ignore", invalid="ignore"):
+            for step in range(1, n_steps + 1):
+                rhs = rhs_steps[step]
+                # Capacitor history currents (Norton companion).
+                if n_cap:
+                    rhs += cap_mat @ (cap_g * cap_v + (cap_i if trap else 0.0))
+                # Inductor history voltages.
+                if n_l:
+                    rhs[n:n + n_l] = -ind_r * x[n:n + n_l] - (
+                        (ind_diff @ x) if trap else 0.0
+                    )
+                x = lu.solve(rhs)
+                states[step] = x
+                if n_cap:
+                    new_cap_v = cap_diff @ x
+                    if trap:
+                        cap_i = cap_g * (new_cap_v - cap_v) - cap_i
+                    cap_v = new_cap_v
 
-            x = lu.solve(rhs)
-            self._check_state(x, n, step, float(times[step]), method, max_abs_v)
-            out[step] = x[:n]
-
-            new_cap_v = node_v(x, cap_a) - node_v(x, cap_b)
-            if len(self._capacitors):
-                if trap:
-                    cap_i = cap_g * (new_cap_v - cap_v) - cap_i
-                cap_v = new_cap_v
+        self._check_trajectory(states, n, times, method, max_abs_v)
+        out[1:] = states[1:, :n]
 
         return TransientResult(
             time=times, voltages=out, node_order=list(self._nodes)
@@ -534,6 +549,52 @@ class Circuit:
             ) from exc
         cond = _condition_estimate(matrix, lu)
 
+        def incidence(idx_pairs, shape, transpose=False):
+            """Signed incidence operator from (index array, sign) pairs.
+
+            Entry ``(idx[k], k)`` (or ``(k, idx[k])`` when transposed)
+            holds ``sign``; ``-1`` indices (ground terminals) are
+            dropped, matching the masked ``np.add.at`` scatters and the
+            zero-filled ``node_v`` gathers this replaces.
+            """
+            r: List[int] = []
+            c: List[int] = []
+            v: List[float] = []
+            for idx, sign in idx_pairs:
+                for k, i in enumerate(idx):
+                    if i >= 0:
+                        r.append(k if transpose else i)
+                        c.append(i if transpose else k)
+                        v.append(sign)
+            mat = sp.csr_matrix((v, (r, c)), shape=shape, dtype=float)
+            # Dense below ~2 MB: the step loop applies these operators
+            # thousands of times and numpy's dense matvec has far lower
+            # fixed dispatch cost than scipy's sparse one.
+            if shape[0] * shape[1] <= 262_144:
+                return mat.toarray()
+            return mat
+
+        cap_a = np.array(
+            [self._idx(c.a) if self._idx(c.a) is not None else -1
+             for c in self._capacitors], dtype=int)
+        cap_b = np.array(
+            [self._idx(c.b) if self._idx(c.b) is not None else -1
+             for c in self._capacitors], dtype=int)
+        ind_a = np.array(
+            [self._idx(l.a) if self._idx(l.a) is not None else -1
+             for l in self._inductors], dtype=int)
+        ind_b = np.array(
+            [self._idx(l.b) if self._idx(l.b) is not None else -1
+             for l in self._inductors], dtype=int)
+        isrc_f = np.array(
+            [self._idx(s.frm) if self._idx(s.frm) is not None else -1
+             for s in self._isources], dtype=int)
+        isrc_t = np.array(
+            [self._idx(s.to) if self._idx(s.to) is not None else -1
+             for s in self._isources], dtype=int)
+        n_cap = len(self._capacitors)
+        n_src = len(self._isources)
+
         plan = _TransientPlan(
             method=method,
             dt_s=dt,
@@ -545,24 +606,24 @@ class Circuit:
             condition_ratio=float(cond),
             cap_g=cap_g,
             ind_r=ind_r,
-            cap_a=np.array(
-                [self._idx(c.a) if self._idx(c.a) is not None else -1
-                 for c in self._capacitors], dtype=int),
-            cap_b=np.array(
-                [self._idx(c.b) if self._idx(c.b) is not None else -1
-                 for c in self._capacitors], dtype=int),
-            ind_a=np.array(
-                [self._idx(l.a) if self._idx(l.a) is not None else -1
-                 for l in self._inductors], dtype=int),
-            ind_b=np.array(
-                [self._idx(l.b) if self._idx(l.b) is not None else -1
-                 for l in self._inductors], dtype=int),
-            isrc_f=np.array(
-                [self._idx(s.frm) if self._idx(s.frm) is not None else -1
-                 for s in self._isources], dtype=int),
-            isrc_t=np.array(
-                [self._idx(s.to) if self._idx(s.to) is not None else -1
-                 for s in self._isources], dtype=int),
+            cap_a=cap_a,
+            cap_b=cap_b,
+            ind_a=ind_a,
+            ind_b=ind_b,
+            isrc_f=isrc_f,
+            isrc_t=isrc_t,
+            src_mat=incidence(
+                ((isrc_f, -1.0), (isrc_t, 1.0)), (size, n_src)
+            ),
+            cap_mat=incidence(
+                ((cap_a, 1.0), (cap_b, -1.0)), (size, n_cap)
+            ),
+            cap_diff=incidence(
+                ((cap_a, 1.0), (cap_b, -1.0)), (n_cap, size), transpose=True
+            ),
+            ind_diff=incidence(
+                ((ind_a, 1.0), (ind_b, -1.0)), (n_l, size), transpose=True
+            ),
         )
         self._plans[(method, dt)] = plan
         return plan
@@ -688,6 +749,52 @@ class Circuit:
                 time_s=time_s,
                 method=method,
             )
+
+    def _check_trajectory(
+        self,
+        states: np.ndarray,
+        n: int,
+        times: np.ndarray,
+        method: str,
+        max_abs_v: float,
+    ) -> None:
+        """Guard a whole solved trajectory; name the first bad step.
+
+        Vectorised equivalent of running :meth:`_check_state` after
+        every step: the first step that is non-finite or diverged raises
+        with the same context a per-step check would have produced
+        (steps after it are never reported - they are downstream of the
+        first failure).  Step 0 is the DC seed, already guarded by
+        :meth:`_dc_state`.
+        """
+        with np.errstate(invalid="ignore"):
+            bad = ~np.isfinite(states).all(axis=1)
+            if n:
+                # NaN compares False here; the non-finite flag wins.
+                bad |= (np.abs(states[:, :n]) > max_abs_v).any(axis=1)
+        bad[0] = False
+        if bad.any():
+            step = int(np.argmax(bad))
+            self._check_state(
+                states[step], n, step, float(times[step]), method, max_abs_v
+            )
+
+    def prime_transient(
+        self, dt: float, method: str = "trapezoidal"
+    ) -> None:
+        """Factorise (and cache) the transient plan for ``(method, dt)``.
+
+        Warm-pool workers call this at initialisation so the first real
+        solve of a task pays only the right-hand-side work; it is the
+        public face of the plan cache that :meth:`transient` consults.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if method not in ("trapezoidal", "backward-euler"):
+            raise ValueError(f"unknown integration method {method!r}")
+        if not self._nodes:
+            raise ValueError("circuit has no nodes")
+        self._transient_plan(method, dt)
 
     def _solve_dc(self, at_time: float) -> np.ndarray:
         i_now = np.array(

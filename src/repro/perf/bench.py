@@ -9,10 +9,15 @@ against a committed baseline (see ``docs/performance.md``):
   PSN kernel, scalar loop vs the vectorised batch path;
 * ``transient_solve_cold`` / ``transient_solve_warm`` - one MNA
   transient solve with a fresh factorisation vs the cached plan;
+* ``pool_warmup`` / ``pool_reuse`` / ``pool_init_seconds`` - first
+  lease of the persistent warm worker pool (spawn + per-worker world
+  build) vs a later lease of the already-warm pool, plus the mean
+  once-per-worker initializer time (``repro.perf.pool``);
 * ``campaign_cell`` - one supervised campaign cell end to end;
 * ``e2e_sweep_serial`` / ``e2e_sweep_parallel`` - a small campaign
   sweep run serially and with worker processes (plus the derived
-  speedup);
+  speedup); the parallel leg runs against a pre-warmed pool so it
+  times steady-state task throughput, not spawn cost;
 * ``noc_engine_legacy`` / ``noc_engine_array`` - the flit-level cycle
   model at 8x8 saturation: object-per-flit reference vs the
   structure-of-arrays engine (plus ``noc_engine_array_adaptive`` for
@@ -20,8 +25,9 @@ against a committed baseline (see ``docs/performance.md``):
 * ``lint_deep`` - one cold-cache interprocedural parmlint run over
   ``src/repro`` (call-graph build plus every rule);
 * ``routing_sweep_serial`` / ``routing_sweep_parallel`` - the
-  routing-policy sweep run in-process and fanned across workers (the
-  results are asserted identical before timings are recorded);
+  routing-policy sweep run in-process and fanned across pre-warmed
+  workers (the results are asserted identical before timings are
+  recorded);
 * ``verify_sequential`` / ``verify_splitting`` - the stop-when-confident
   sequential estimator and the rare-event importance-splitting run on
   the PDN emergency estimand (see ``docs/verification.md``);
@@ -34,6 +40,10 @@ Benchmark workloads are pinned (fixed seeds, sizes and cell specs), so
 two runs on the same machine measure the same work; only the wall time
 varies.  The regression gate compares per-benchmark times against a
 baseline JSON and fails on more than ``--gate-pct`` percent slowdown.
+In full (non ``--quick``) mode on a multi-core machine the derived
+``e2e_parallel_speedup`` and ``routing_sweep_parallel_speedup`` must
+additionally exceed 1.0x - ``--workers N`` has to actually beat
+serial; quick runs and single-core machines log the values instead.
 """
 
 from __future__ import annotations
@@ -138,8 +148,11 @@ def bench_transient(quick: bool) -> Dict[str, Dict[str, Any]]:
 
     tech = technology("7nm")
     power = PowerModel(tech)
-    window_s = 50e-9 if quick else 200e-9
-    repeats = 2 if quick else 5
+    # Short windows keep the one-off factorisation (what cold pays and
+    # warm amortises) a visible fraction of each solve; long windows
+    # are step-dominated and would measure the same loop twice.
+    window_s = 10e-9 if quick else 20e-9
+    repeats = 3 if quick else 5
     vdd = 0.6
     core = power.core_dynamic(0.7, vdd) + power.core_leakage(vdd)
     router = power.router_dynamic(1.5, vdd) + power.router_leakage(vdd)
@@ -163,6 +176,90 @@ def bench_transient(quick: bool) -> Dict[str, Dict[str, Any]]:
         "transient_solve_warm": {
             "seconds": _time_best(warm, repeats),
             "meta": meta,
+        },
+    }
+
+
+def _probe_pool(lease: Any, workers: int) -> Dict[int, float]:
+    """Run probe rounds until every worker has initialised (bounded).
+
+    Returns ``{worker pid: init_seconds}``.  A fast worker can win every
+    probe of a round, so rounds repeat until ``workers`` distinct pids
+    answered or the probe budget runs out (best effort - a straggler
+    still finishes its one-time init before its first real task).
+    """
+    from repro.perf import pool
+
+    inits: Dict[int, float] = {}
+    token = 0
+    while len(inits) < workers and token < workers * 8:
+        futures = [
+            lease.pool.submit(pool._probe_worker, token + i)
+            for i in range(workers)
+        ]
+        token += workers
+        for future in futures:
+            pid, init_s = future.result()
+            inits[pid] = init_s
+    return inits
+
+
+def _prewarm_pool(
+    workers: int, policy: Any = None, cell_runner: Any = None
+) -> None:
+    """Spawn + initialise the warm pool matching ``(workers, policy)``.
+
+    Called before the timed parallel regions so they measure
+    steady-state task throughput against serial, not process spawn and
+    world build (the costs ``pool_warmup`` times explicitly).
+    """
+    from repro.perf import pool
+
+    lease = pool.lease_pool(workers, policy=policy, cell_runner=cell_runner)
+    try:
+        _probe_pool(lease, workers)
+    finally:
+        lease.release()
+
+
+def bench_pool(quick: bool, workers: int) -> Dict[str, Dict[str, Any]]:
+    from repro.perf import pool
+
+    # Cold start: drop any pool and shared segments earlier suites (or
+    # a previous bench run in-process) left warm.
+    pool.shutdown_pool()
+
+    start = time.perf_counter()
+    lease = pool.lease_pool(workers)
+    inits = _probe_pool(lease, workers)
+    warmup_s = time.perf_counter() - start
+    lease.release()
+
+    start = time.perf_counter()
+    lease = pool.lease_pool(workers)
+    for future in [
+        lease.pool.submit(pool._probe_worker, 10_000 + i)
+        for i in range(workers)
+    ]:
+        future.result()
+    reuse_s = time.perf_counter() - start
+    lease.release()
+
+    init_values = sorted(inits.values())
+    mean_init = sum(init_values) / len(init_values) if init_values else 0.0
+    meta = {"workers": workers, "segments": len(pool.default_warm_spec().array_specs)}
+    return {
+        "pool_warmup": {
+            "seconds": warmup_s,
+            "meta": {**meta, "note": "first lease: spawn + init + probes"},
+        },
+        "pool_reuse": {
+            "seconds": reuse_s,
+            "meta": {**meta, "note": "later lease of the warm pool"},
+        },
+        "pool_init_seconds": {
+            "seconds": mean_init,
+            "meta": {**meta, "per_worker": init_values},
         },
     }
 
@@ -210,11 +307,16 @@ def bench_campaign_cell(quick: bool) -> Dict[str, Dict[str, Any]]:
 def bench_e2e_sweep(quick: bool, workers: int, tmp_dir: str) -> Dict[str, Dict[str, Any]]:
     import os
 
-    from repro.harness.supervisor import CampaignSupervisor
+    from repro.harness.supervisor import CampaignSupervisor, SupervisorPolicy
 
     cells = _bench_cells(quick)
     times: Dict[str, float] = {}
     for tag, n_workers in (("serial", 1), ("parallel", workers)):
+        if n_workers > 1:
+            # Same fingerprint the supervisor's run_cells leases
+            # (default policy, in-worker default runner), so the timed
+            # run reuses these already-initialised workers.
+            _prewarm_pool(n_workers, policy=SupervisorPolicy())
         checkpoint = os.path.join(tmp_dir, f"bench_{tag}.json")
         supervisor = CampaignSupervisor(
             cells, checkpoint, workers=n_workers
@@ -299,6 +401,7 @@ def bench_routing_sweep(quick: bool, workers: int) -> Dict[str, Dict[str, Any]]:
     start = time.perf_counter()
     serial_rows = routing_sweep(workers=1, **kwargs)
     serial_s = time.perf_counter() - start
+    _prewarm_pool(workers)  # map_tasks leases the bare-worker pool
     start = time.perf_counter()
     parallel_rows = routing_sweep(workers=workers, **kwargs)
     parallel_s = time.perf_counter() - start
@@ -471,6 +574,10 @@ def run_suite(
     benchmarks.update(bench_transient(quick))
     benchmarks.update(bench_noc_engine(quick))
     benchmarks.update(bench_lint(quick))
+    if "pool" not in skip:
+        # Before the e2e/routing suites: those pre-warm the pool, and
+        # pool_warmup must observe a cold one.
+        benchmarks.update(bench_pool(quick, workers))
     if "campaign" not in skip:
         benchmarks.update(bench_campaign_cell(quick))
     if "e2e" not in skip:
@@ -488,6 +595,7 @@ def run_suite(
         ("kernel_batch_speedup", "kernel_eval_scalar", "kernel_eval_batch"),
         ("transient_warm_speedup", "transient_solve_cold", "transient_solve_warm"),
         ("e2e_parallel_speedup", "e2e_sweep_serial", "e2e_sweep_parallel"),
+        ("pool_reuse_speedup", "pool_warmup", "pool_reuse"),
         ("noc_engine_speedup", "noc_engine_legacy", "noc_engine_array"),
         (
             "routing_sweep_parallel_speedup",
@@ -509,6 +617,40 @@ def run_suite(
         "benchmarks": benchmarks,
         "derived": derived,
     }
+
+
+#: Derived speedups that must exceed 1.0x in full mode (``--workers N``
+#: has to actually beat serial once the pool is warm).
+PARALLEL_SPEEDUP_GATES = (
+    "e2e_parallel_speedup",
+    "routing_sweep_parallel_speedup",
+)
+
+
+def parallel_speedup_failures(result: Dict[str, Any]) -> List[str]:
+    """Full-mode gate: warm-pool parallel runs must beat serial.
+
+    Quick runs log the speedups without gating (their workloads are too
+    small to amortise anything), and a single-core machine cannot beat
+    serial throughput no matter how warm the pool is, so the gate only
+    applies when ``os.cpu_count() >= 2`` and the missing check is
+    reported as a skip instead.
+    """
+    import os
+
+    if result.get("quick"):
+        return []
+    if (os.cpu_count() or 1) < 2:
+        return []
+    failures = []
+    for name in PARALLEL_SPEEDUP_GATES:
+        value = result.get("derived", {}).get(name)
+        if value is not None and value <= 1.0:
+            failures.append(
+                f"{name}: {value:.2f}x <= 1.00x "
+                "(parallel must beat serial on a warm pool)"
+            )
+    return failures
 
 
 def gate_against_baseline(
@@ -579,11 +721,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--skip",
         nargs="+",
         default=[],
-        choices=["campaign", "e2e", "routing", "verify", "service"],
+        choices=["campaign", "e2e", "pool", "routing", "verify", "service"],
         metavar="SUITE",
         help=(
             "skip the slow suites "
-            "(campaign, e2e, routing, verify, service)"
+            "(campaign, e2e, pool, routing, verify, service)"
         ),
     )
     return parser
@@ -606,6 +748,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"  {name:<24} {entry['seconds']:.4f} s")
     for name, value in sorted(result["derived"].items()):
         print(f"  {name:<24} {value:.2f}x")
+
+    import os as _os
+
+    speedup_failures = parallel_speedup_failures(result)
+    if speedup_failures:
+        print("parallel speedup gate failed:", file=sys.stderr)
+        for failure in speedup_failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    gated = not result["quick"] and (_os.cpu_count() or 1) >= 2
+    for name in PARALLEL_SPEEDUP_GATES:
+        value = result["derived"].get(name)
+        if value is not None:
+            state = "gated > 1.0x" if gated else "logged, gate skipped"
+            reason = "" if gated else (
+                " (quick run)" if result["quick"] else " (single-core host)"
+            )
+            print(f"  {name}: {value:.2f}x [{state}{reason}]")
 
     if args.baseline:
         with open(args.baseline, "r", encoding="utf-8") as handle:

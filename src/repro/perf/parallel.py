@@ -26,19 +26,27 @@ state or solver caches, which both avoids fork-after-thread hazards
 (the supervisor's watchdog uses threads) and keeps workers identical to
 a fresh serial process.  parmlint's ``process-pool`` rule enforces that
 no other module spawns workers behind the supervisor's back.
+
+Worker processes are *persistent*: both entry points lease the
+process-lifetime warm pool of :mod:`repro.perf.pool`, whose workers
+build the expensive read-only world (chip, profile library, kernel and
+route tables in shared memory, primed transient plan) once at
+initialisation and are reused across calls.  Each call cancels only its
+own futures on exit and flags - never shuts down - a broken pool, so
+interleaved batches cannot cancel each other's queued work.
 """
 
 from __future__ import annotations
 
 import pickle
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, wait
 from concurrent.futures.process import BrokenProcessPool
-from multiprocessing import get_context
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.faults.recovery import RecoveryPolicy
+from repro.perf import pool as warm_pool
 from repro.harness.errors import ConfigError, ReproError, WorkerCrash
 from repro.harness.seeding import derive_seed
 from repro.harness.supervisor import (
@@ -71,6 +79,8 @@ WORKER_ROOTS = (
     "repro.harness.supervisor.default_cell_runner",
     "repro.perf.parallel._pool_run_cell",
     "repro.perf.parallel._worker_init",
+    "repro.perf.pool._probe_worker",
+    "repro.perf.pool._warm_worker_init",
     "repro.runtime.service.campaign.run_service_epoch",
 )
 
@@ -190,7 +200,7 @@ def map_tasks(
     Taxonomy errors raised by ``fn`` itself propagate unchanged.
 
     With ``retries > 0`` each task additionally owns a bounded retry
-    budget: a crashed or raising task is resubmitted (to a fresh pool
+    budget: a crashed or raising task is resubmitted (to a rebuilt pool
     when the previous one broke) after a jittered exponential backoff
     seeded from ``(retry_seed, task index, attempt)`` - see
     :class:`_MapRetryBudget`.  A worker death charges one attempt to
@@ -202,8 +212,10 @@ def map_tasks(
             workers) mapping one task to one result.
         tasks: Task values; must themselves be picklable when
             ``workers > 1``.
-        workers: Worker process count; capped at ``len(tasks)``.  ``1``
-            runs in-process with identical semantics.
+        workers: Worker process count (a warm-pool fingerprint
+            component, so repeated calls with the same count reuse the
+            same workers).  ``1`` runs in-process with identical
+            semantics.
         retries: Extra attempts per task beyond the first (default 0:
             fail fast, the historical behaviour).
         retry_seed: Root seed of the backoff jitter streams.
@@ -257,27 +269,43 @@ def map_tasks(
     results_by_index: Dict[int, Any] = {}
     unfinished = list(range(len(tasks)))
     while unfinished:
-        # A fresh pool per round: after a BrokenProcessPool the old pool
-        # is unusable, and failure rounds are rare enough that the spawn
-        # cost does not matter on the happy path (one round, one pool).
-        pool = ProcessPoolExecutor(  # parmlint: ok[process-pool]
-            max_workers=min(workers, len(unfinished)),
-            mp_context=get_context(START_METHOD),
-        )
+        # Lease the persistent warm pool; a broken pool is flagged via
+        # the lease and rebuilt by the next round's lease_pool call.
+        lease = warm_pool.lease_pool(workers)
         retry_indices: List[int] = []
+        futures: Dict[int, Future] = {}
         try:
-            futures = {
-                index: pool.submit(fn, tasks[index]) for index in unfinished
-            }
+            submit_failure: Optional[BaseException] = None
             for index in unfinished:
                 try:
-                    results_by_index[index] = futures[index].result()
+                    futures[index] = lease.pool.submit(fn, tasks[index])
+                except BrokenProcessPool as exc:
+                    # The pool died between calls (e.g. an idle worker
+                    # was OOM-killed); charge the unsubmitted tasks and
+                    # let the next round rebuild.
+                    lease.mark_broken()
+                    submit_failure = exc
+                    break
+            for index in unfinished:
+                future = futures.get(index)
+                if future is None:
+                    budget.charge(
+                        index,
+                        tasks[index],
+                        submit_failure,
+                        "worker process died before completing its task",
+                    )
+                    retry_indices.append(index)
+                    continue
+                try:
+                    results_by_index[index] = future.result()
                 except ReproError:
                     raise
                 except BrokenProcessPool as exc:
                     # The worker *process* died before returning (OOM
                     # kill, segfault, interpreter abort); every future
                     # still in flight fails with it.
+                    lease.mark_broken()
                     budget.charge(
                         index,
                         tasks[index],
@@ -296,7 +324,12 @@ def map_tasks(
                     )
                     retry_indices.append(index)
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            # Cancel only *this call's* futures - the pool is shared
+            # with concurrent callers and must keep draining their
+            # queued work (a completed future's cancel() is a no-op).
+            for future in futures.values():
+                future.cancel()
+            lease.release()
         unfinished = retry_indices
     return [results_by_index[index] for index in range(len(tasks))]
 
@@ -314,8 +347,9 @@ def run_cells(
         cells: Cells to execute (keys must be unique).
         policy: Retry/backoff/watchdog limits, applied inside each
             worker exactly as in a serial run.
-        workers: Worker process count; capped at ``len(cells)``.  ``1``
-            runs in-process (no pool) with identical semantics.
+        workers: Worker process count (a warm-pool fingerprint
+            component).  ``1`` runs in-process (no pool) with identical
+            semantics.
         cell_runner: Optional runner override.  Must be picklable (a
             module-level callable) because it is shipped to spawned
             workers; ``None`` builds the default runner lazily in each
@@ -332,6 +366,9 @@ def run_cells(
 
     Raises:
         ConfigError: on ``workers < 1`` or an unpicklable runner.
+        WorkerCrash: when the pool keeps breaking (a worker death is
+            otherwise survived: the rebuilt pool re-runs the lost
+            cells, which is safe because outcomes are deterministic).
     """
     cells = list(cells)
     if workers < 1:
@@ -349,24 +386,58 @@ def run_cells(
         _require_picklable(cell_runner)
 
     by_key: Dict[str, CellOutcome] = {}
-    pool = ProcessPoolExecutor(  # parmlint: ok[process-pool]
-        max_workers=min(workers, len(cells)),
-        mp_context=get_context(START_METHOD),
-        initializer=_worker_init,
-        initargs=(policy, cell_runner),
-    )
-    try:
-        pending = {pool.submit(_pool_run_cell, cell) for cell in cells}
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                outcome = future.result()
-                by_key[outcome.cell.key] = outcome
-                if on_outcome is not None:
-                    on_outcome(outcome)
-    finally:
-        # Never block teardown on in-flight cells: on an error (or a
-        # parent interrupt) the queued work is cancelled and the pool is
-        # left to drain in the background.
-        pool.shutdown(wait=False, cancel_futures=True)
+    remaining: Dict[str, SupervisedCell] = {cell.key: cell for cell in cells}
+    rebuilds = 0
+    while remaining:
+        # Lease the persistent warm pool keyed by (workers, policy,
+        # runner); workers build their CellExecutor once, at pool init.
+        lease = warm_pool.lease_pool(
+            workers, policy=policy, cell_runner=cell_runner
+        )
+        futures: Dict[Future, str] = {}
+        broken: Optional[BaseException] = None
+        try:
+            for key, cell in remaining.items():
+                try:
+                    futures[lease.pool.submit(_pool_run_cell, cell)] = key
+                except BrokenProcessPool as exc:
+                    broken = exc
+                    break
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool as exc:
+                        # Cell outcomes are deterministic, so the cells
+                        # lost with the dead worker can simply be re-run
+                        # on a rebuilt pool - bytes cannot diverge.
+                        broken = exc
+                        continue
+                    by_key[futures[future]] = outcome
+                    del remaining[futures[future]]
+                    if on_outcome is not None:
+                        on_outcome(outcome)
+            if broken is not None:
+                lease.mark_broken()
+        finally:
+            # Cancel only *this call's* futures - the pool is shared
+            # with concurrent callers and must keep draining their
+            # queued work (a completed future's cancel() is a no-op).
+            for future in futures:
+                future.cancel()
+            lease.release()
+        if remaining:
+            rebuilds += 1
+            if rebuilds > warm_pool.MAX_POOL_REBUILDS:
+                raise WorkerCrash(
+                    "worker pool kept dying while running cells",
+                    rebuilds=rebuilds,
+                    pending_cells=sorted(remaining),
+                    error_type=(
+                        type(broken).__name__ if broken else "unknown"
+                    ),
+                    error=str(broken) if broken else "",
+                ) from broken
     return [by_key[cell.key] for cell in cells]

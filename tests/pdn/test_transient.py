@@ -182,3 +182,62 @@ class TestPairInterference:
         load = make_load(power, 0.5, 0.5, ActivityBin.HIGH)
         with pytest.raises(ValueError, match="hops"):
             analysis.pair_analysis(0.5, load, load, 3)
+
+
+class TestPlanReuse:
+    """The second solve of one analyser must reuse the LU factorisation."""
+
+    def _splu_counter(self, monkeypatch):
+        import repro.pdn.circuit as circuit_mod
+
+        calls = {"n": 0}
+        real_splu = circuit_mod.spla.splu
+
+        def counting_splu(*args, **kwargs):
+            calls["n"] += 1
+            return real_splu(*args, **kwargs)
+
+        monkeypatch.setattr(circuit_mod.spla, "splu", counting_splu)
+        return calls
+
+    def test_second_solve_reuses_factorisation(
+        self, tech, power, monkeypatch
+    ):
+        calls = self._splu_counter(monkeypatch)
+        analysis = PsnTransientAnalysis(tech, window_s=10e-9)
+        loads = [
+            make_load(power, 0.6, 0.7, ActivityBin.HIGH) for _ in range(4)
+        ]
+        first = analysis.analyze(0.6, loads)
+        primed = calls["n"]
+        assert primed >= 1  # DC + transient factorisations
+        # Same workload, a different workload, and a different supply
+        # voltage: all enter through the right-hand side only, so none
+        # may factorise again.
+        analysis.analyze(0.6, loads)
+        analysis.analyze(0.7, loads)
+        low = [make_load(power, 0.5, 0.2, ActivityBin.LOW) for _ in range(4)]
+        analysis.analyze(0.5, low)
+        assert calls["n"] == primed
+        again = analysis.analyze(0.6, loads)
+        np.testing.assert_array_equal(first.peak_psn_pct, again.peak_psn_pct)
+
+    def test_prime_prepays_factorisation(self, tech, power, monkeypatch):
+        calls = self._splu_counter(monkeypatch)
+        analysis = PsnTransientAnalysis(tech, window_s=10e-9)
+        analysis.prime()
+        primed = calls["n"]
+        assert primed >= 1
+        analysis.prime()  # idempotent
+        assert calls["n"] == primed
+        loads = [
+            make_load(power, 0.6, 0.7, ActivityBin.HIGH) for _ in range(4)
+        ]
+        report = analysis.analyze(0.6, loads)
+        # The solve itself must not add a transient factorisation; the
+        # DC seed's LU was also built by prime's plan path.
+        assert calls["n"] <= primed + 1
+        fresh = PsnTransientAnalysis(tech, window_s=10e-9).analyze(0.6, loads)
+        np.testing.assert_array_equal(
+            report.peak_psn_pct, fresh.peak_psn_pct
+        )
