@@ -15,6 +15,15 @@ resulting table is byte-identical to a serial run for any worker count
 deterministic: seed ``s`` always produces the same traffic pattern, and
 every policy sees the identical pattern for a fair comparison.
 
+Context-free policies (XY, west-first, odd-even) do not fan out per
+point: all of a policy's (rate, seed) grid points become lanes of one
+:class:`~repro.noc.batch.BatchedNocEngine` run (:func:`run_batch`),
+which advances every lane in one vectorised lock-step pass.  Each lane
+is pinned flit-for-flit identical to the scalar engine, so the rows are
+byte-identical to the per-point path; only adaptive policies (PANR,
+ICON), whose routing reads live congestion state, still run one
+:func:`run_point` task per grid point.
+
 ``python -m repro routing`` drives this module from the command line;
 the ``routing`` report section embeds the same table.
 """
@@ -120,6 +129,22 @@ def uniform_random_flows(
     return flows
 
 
+def _point_result(point: SweepPoint, stats) -> PointResult:
+    """Fold one engine run's stats into the point's result row."""
+    delivered_pct = (
+        100.0 * stats.packets_delivered / stats.packets_injected
+        if stats.packets_injected
+        else 0.0
+    )
+    return PointResult(
+        point=point,
+        avg_latency_cycles=stats.avg_packet_latency,
+        p95_latency_cycles=stats.p95_packet_latency,
+        throughput_flits_per_cycle=stats.throughput_flits_per_cycle,
+        delivered_pct=delivered_pct,
+    )
+
+
 def run_point(point: SweepPoint) -> PointResult:
     """Simulate one sweep point (module-level: the ``map_tasks`` task).
 
@@ -149,19 +174,65 @@ def run_point(point: SweepPoint) -> PointResult:
         topology=topology,
         route_table=route_table,
     )
-    stats = engine.run(flows, point.cycles)
-    delivered_pct = (
-        100.0 * stats.packets_delivered / stats.packets_injected
-        if stats.packets_injected
-        else 0.0
+    return _point_result(point, engine.run(flows, point.cycles))
+
+
+def run_batch(points: Sequence[SweepPoint]) -> List[PointResult]:
+    """Simulate one context-free policy's grid points as a single batch.
+
+    Module-level ``map_tasks`` task: every point becomes one lane of a
+    :class:`~repro.noc.batch.BatchedNocEngine`, so the whole group
+    advances through shared vectorised phases instead of running one
+    scalar engine per point.  Each lane is pinned flit-for-flit
+    identical to the scalar engine, so the returned results match
+    :func:`run_point` byte for byte.  Points must agree on everything
+    except rate and seed - :func:`routing_sweep` groups them that way.
+    """
+    from repro.harness.errors import ConfigError
+    from repro.noc.batch import BatchedNocEngine
+    from repro.perf.pool import warm_world
+
+    points = list(points)
+    if not points:
+        return []
+    first = points[0]
+    if any(
+        (p.policy, p.mesh_width, p.mesh_height, p.cycles)
+        != (first.policy, first.mesh_width, first.mesh_height, first.cycles)
+        for p in points
+    ):
+        raise ConfigError(
+            "batched sweep points must share policy, mesh and cycles",
+            points=[repr(p) for p in points[:4]],
+        )
+    mesh = MeshGeometry(first.mesh_width, first.mesh_height)
+    flows = [
+        uniform_random_flows(
+            mesh, p.injection_rate_flits, p.seed, p.packet_size_flits
+        )
+        for p in points
+    ]
+    topology = route_table = None
+    world = warm_world()
+    if world is not None:
+        topology = world.topology(first.mesh_width, first.mesh_height)
+        route_table = world.route_table(
+            first.mesh_width, first.mesh_height, first.policy
+        )
+    engine = BatchedNocEngine(
+        mesh,
+        make_routing(first.policy),
+        n_lanes=len(points),
+        psn_pct=hotspot_psn(mesh),
+        seeds=[p.seed for p in points],
+        topology=topology,
+        route_table=route_table,
     )
-    return PointResult(
-        point=point,
-        avg_latency_cycles=stats.avg_packet_latency,
-        p95_latency_cycles=stats.p95_packet_latency,
-        throughput_flits_per_cycle=stats.throughput_flits_per_cycle,
-        delivered_pct=delivered_pct,
-    )
+    stats_list = engine.run(flows, first.cycles)
+    return [
+        _point_result(point, stats)
+        for point, stats in zip(points, stats_list)
+    ]
 
 
 def routing_sweep(
@@ -176,10 +247,14 @@ def routing_sweep(
 ) -> List[SweepRow]:
     """Latency/throughput vs injection rate for each routing policy.
 
-    Fans the (policy, rate, seed) grid across ``workers`` processes via
-    :func:`repro.perf.parallel.map_tasks`; every point is a pure
+    Context-free policies pack their whole (rate, seed) grid into one
+    :func:`run_batch` lock-step task each; adaptive policies fan one
+    :func:`run_point` task per grid point.  Both task kinds go through
+    :func:`repro.perf.parallel.map_tasks` and every task is a pure
     function of its spec, so the returned rows are identical for any
-    worker count.
+    worker count - and byte-identical to the historical all-scalar
+    path, because each batch lane is pinned flit-for-flit against the
+    scalar engine.
 
     Returns:
         One seed-averaged :class:`SweepRow` per (policy, rate), in
@@ -201,7 +276,21 @@ def routing_sweep(
         for rate in rates
         for seed in seeds
     ]
-    results = map_tasks(run_point, points, workers)
+    batch_groups = [
+        tuple(p for p in points if p.policy == policy)
+        for policy in policies
+        if make_routing(policy).context_free
+    ]
+    scalar_points = [
+        p for p in points if not make_routing(p.policy).context_free
+    ]
+    by_point: Dict[SweepPoint, PointResult] = {}
+    for group_results in map_tasks(run_batch, batch_groups, workers):
+        for result in group_results:
+            by_point[result.point] = result
+    for result in map_tasks(run_point, scalar_points, workers):
+        by_point[result.point] = result
+    results = [by_point[point] for point in points]
 
     grouped: Dict[Tuple[str, float], List[PointResult]] = {}
     for result in results:

@@ -18,6 +18,10 @@ built-in:
 * :class:`PacketLatencyEstimand` - one uniformly chosen delivered-packet
   latency from a seeded :class:`~repro.noc.engine.ArrayNocEngine` run
   (i.i.d. by construction, so the DKW quantile band applies cleanly).
+  Context-free policies also expose ``sample_batch``, which advances a
+  whole batch of replicas as lanes of one
+  :class:`~repro.noc.batch.BatchedNocEngine` pass with byte-identical
+  values.
 
 Sub-streams inside one replica (workload vs campaign vs simulator, or
 traffic vs pick) are split with :func:`repro.harness.seeding.derive_seed`
@@ -27,7 +31,7 @@ so no two purposes ever share randomness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -447,6 +451,22 @@ class PacketLatencyEstimand:
             packet_size_flits=int(spec["packet_size_flits"]),
         )
 
+    def _pick_latency(self, seed: int, stats: Any) -> float:
+        """Uniformly pick one delivered-packet latency of one run."""
+        if not stats.packet_latencies:
+            raise SolverError(
+                "NoC run delivered no packets; cannot sample a latency",
+                policy=self.policy,
+                injection_rate_flits=self.injection_rate_flits,
+                cycles=self.cycles,
+            )
+        pick = np.random.default_rng(
+            derive_seed(seed, "verify/latency/pick", 0)
+        )
+        return float(
+            stats.packet_latencies[int(pick.integers(len(stats.packet_latencies)))]
+        )
+
     def sample(self, seed: int) -> float:
         """One replicate: one uniformly chosen delivered-packet latency."""
         from repro.chip.mesh import MeshGeometry
@@ -468,20 +488,54 @@ class PacketLatencyEstimand:
             psn_pct=hotspot_psn(mesh),
             seed=traffic_seed,
         )
-        stats = engine.run(flows, self.cycles)
-        if not stats.packet_latencies:
-            raise SolverError(
-                "NoC run delivered no packets; cannot sample a latency",
-                policy=self.policy,
-                injection_rate_flits=self.injection_rate_flits,
-                cycles=self.cycles,
+        return self._pick_latency(seed, engine.run(flows, self.cycles))
+
+    def sample_batch(self, seeds: Sequence[int]) -> List[float]:
+        """Replicates for many seeds in one batched engine pass.
+
+        Byte-identical to ``[self.sample(s) for s in seeds]``: every
+        replica keeps its own derived traffic/pick sub-streams, and for
+        context-free policies the replicas advance as lanes of one
+        :class:`~repro.noc.batch.BatchedNocEngine` (each lane pinned
+        flit-for-flit against the scalar engine).  Adaptive policies
+        fall back to the scalar per-seed path.
+        """
+        from repro.chip.mesh import MeshGeometry
+        from repro.exp.routing_sweep import hotspot_psn, uniform_random_flows
+        from repro.noc.batch import BatchedNocEngine
+        from repro.noc.routing import make_routing
+
+        seeds = list(seeds)
+        if not seeds:
+            return []
+        routing = make_routing(self.policy)
+        if not routing.context_free:
+            return [self.sample(seed) for seed in seeds]
+        mesh = MeshGeometry(self.mesh_width, self.mesh_height)
+        traffic_seeds = [
+            derive_seed(seed, "verify/latency/traffic", 0) for seed in seeds
+        ]
+        flows = [
+            uniform_random_flows(
+                mesh,
+                self.injection_rate_flits,
+                traffic_seed,
+                self.packet_size_flits,
             )
-        pick = np.random.default_rng(
-            derive_seed(seed, "verify/latency/pick", 0)
+            for traffic_seed in traffic_seeds
+        ]
+        engine = BatchedNocEngine(
+            mesh,
+            routing,
+            n_lanes=len(seeds),
+            psn_pct=hotspot_psn(mesh),
+            seeds=traffic_seeds,
         )
-        return float(
-            stats.packet_latencies[int(pick.integers(len(stats.packet_latencies)))]
-        )
+        stats_list = engine.run(flows, self.cycles)
+        return [
+            self._pick_latency(seed, stats)
+            for seed, stats in zip(seeds, stats_list)
+        ]
 
 
 #: Registered estimand factories, keyed by spec ``"estimand"`` value.

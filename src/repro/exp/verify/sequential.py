@@ -132,9 +132,27 @@ class ReplicaCell:
 #: every replica they receive.
 _ESTIMAND_CACHE: Dict[str, Any] = {}
 
+#: In-process batch-sample cache, keyed by ``(estimand_json, seed)``.
+#: Filled only by :meth:`SequentialEstimator._prime_batch` in the
+#: serial no-checkpoint path, where every cell is guaranteed to run in
+#: this process: estimands with a ``sample_batch`` fast path (e.g. the
+#: batched NoC engine behind :class:`PacketLatencyEstimand`) compute a
+#: whole batch's values in one pass and the per-cell runner just looks
+#: them up.  The cached values are pinned byte-identical to
+#: ``sample(seed)``, so cells hitting or missing the cache cannot
+#: diverge.  Never written from worker processes.
+_BATCH_VALUE_CACHE: Dict[Tuple[str, int], float] = {}
+
 
 def run_replica_cell(cell: ReplicaCell) -> Dict[str, Any]:
     """Module-level cell runner: one ``estimand.sample(seed)`` call."""
+    primed = _BATCH_VALUE_CACHE.get((cell.estimand_json, cell.seed))
+    if primed is not None:
+        return {
+            "index": int(cell.index),
+            "seed": int(cell.seed),
+            "value": float(primed),
+        }
     estimand = _ESTIMAND_CACHE.get(cell.estimand_json)
     if estimand is None:
         estimand = estimand_from_spec(json.loads(cell.estimand_json))
@@ -365,9 +383,33 @@ class SequentialEstimator:
             )
         return [float(o.result["value"]) for o in outcomes]
 
+    def _prime_batch(self, cells: Sequence[ReplicaCell]) -> None:
+        """Precompute a batch's replica values in one ``sample_batch``.
+
+        Only used on the serial in-process path without a checkpoint,
+        where every cell is certain to execute here (a checkpointed or
+        pooled run may skip or ship cells, and priming them would waste
+        the batched pass).  Failures fall back silently to the scalar
+        per-cell path, which re-raises with full cell provenance.
+        """
+        sample_batch = getattr(self._estimand, "sample_batch", None)
+        if sample_batch is None:
+            return
+        _BATCH_VALUE_CACHE.clear()
+        try:
+            values = sample_batch([cell.seed for cell in cells])
+        except ReproError:
+            return
+        for cell, value in zip(cells, values):
+            _BATCH_VALUE_CACHE[(cell.estimand_json, cell.seed)] = float(
+                value
+            )
+
     def _execute(
         self, cells: Sequence[ReplicaCell], resume: bool
     ) -> Tuple[CellOutcome, ...]:
+        if self._checkpoint_path is None and self._workers == 1:
+            self._prime_batch(cells)
         if self._checkpoint_path is not None:
             supervisor = CampaignSupervisor(
                 cells,

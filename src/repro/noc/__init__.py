@@ -21,6 +21,11 @@ The cycle model has two interchangeable implementations: the readable
 object-per-flit :class:`~repro.noc.cycle.CycleNocSimulator` reference
 and the structure-of-arrays :class:`~repro.noc.engine.ArrayNocEngine`
 fast path, pinned flit-for-flit identical by the equivalence suite.
+For sweeps, :class:`~repro.noc.batch.BatchedNocEngine` advances many
+independent context-free simulations in one vectorised lock-step pass
+(every lane equally pinned against the oracle); use
+:func:`~repro.noc.batch.simulate_lanes` to batch where possible and
+fall back per-lane for adaptive policies.
 """
 
 from repro.noc.topology import Direction, MeshTopology
@@ -34,6 +39,7 @@ from repro.noc.routing import (
     make_routing,
 )
 from repro.noc.analytical import AnalyticalNocModel, Flow, NocLoadReport
+from repro.noc.batch import BatchedNocEngine, LaneSpec, simulate_lanes
 from repro.noc.engine import ArrayNocEngine
 from repro.noc.overhead import panr_router_overhead, OverheadReport
 
@@ -49,6 +55,9 @@ __all__ = [
     "make_routing",
     "AnalyticalNocModel",
     "ArrayNocEngine",
+    "BatchedNocEngine",
+    "LaneSpec",
+    "simulate_lanes",
     "Flow",
     "NocLoadReport",
     "panr_router_overhead",

@@ -1,0 +1,804 @@
+"""Batched structure-of-arrays cycle engine: S meshes in lock-step.
+
+:class:`BatchedNocEngine` advances ``S`` *independent* mesh simulations
+through the same vectorised injection/route/arbitration/commit phases
+that :class:`repro.noc.engine.ArrayNocEngine` runs for one mesh.  The
+key observation is that a batch of S independent ``n``-tile meshes is
+exactly one *disconnected* mesh of ``S * n`` tiles: lane ``k`` owns the
+tile block ``[k*n, (k+1)*n)``, the downstream-lookup tables are the
+block-diagonal tiling of the single-mesh tables (``neighbor + k*n``),
+and no array operation ever couples tiles of different blocks.  The
+scalar engine's cycle phases therefore generalise *unchanged* over the
+flat ``(S*n, ports)`` state - same expressions, same dtypes, same
+``np.nonzero`` scan order (lane-major, then tile-ascending, which
+within each lane is exactly the scalar engine's tile order).  Every
+lane is flit-for-flit identical to a scalar run with the same flows,
+which ``tests/noc/test_batch_engine.py`` pins against the legacy
+:class:`~repro.noc.cycle.CycleNocSimulator` oracle.
+
+What batching buys (measured in ``python -m repro bench``,
+``noc_engine_batch_speedup``): the scalar engine's per-cycle python
+overhead - ~20 numpy call dispatches plus the backlog/injection python
+loops - is paid *once per batch cycle* instead of once per lane cycle,
+and the per-engine route-table build is paid once instead of S times.
+At 32 lanes the fixed costs amortise to ~3% each, so the batch runs
+the whole sweep in roughly the wall-time of its busiest lane.
+
+Scope: **context-free routing only** (XY, west-first, odd-even).
+Adaptive policies (PANR, ICON) make per-decision choices from local
+congestion context, which the batched route phase does not assemble;
+:func:`simulate_lanes` transparently falls back to one
+:class:`ArrayNocEngine` per lane for those.  Per-lane PSN fields are
+carried for API parity (and :meth:`set_psn` updates one lane without
+touching its siblings) but, as in the scalar engine, context-free
+policies never read them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.chip.mesh import MeshGeometry
+from repro.noc.cycle.simulator import NocSimStats, TrafficFlow
+from repro.noc.engine import ArrayNocEngine
+from repro.noc.routing.base import RoutingAlgorithm, RoutingContext
+from repro.noc.topology import (
+    Direction,
+    MeshTopology,
+    OPPOSITE_CODES,
+    PORT_CODES,
+    PORT_DIRECTIONS,
+)
+
+#: Port code of the LOCAL (injection/ejection) port.
+_LOCAL = PORT_CODES[Direction.LOCAL]
+
+_N_PORTS = len(PORT_DIRECTIONS)
+
+#: Arbitration key for non-candidates; larger than any round-robin
+#: distance ``(port - pointer) % 5``.
+_NO_CANDIDATE = _N_PORTS + 1
+# Arbitration packs (round-robin key, input port) into key * 8 + port so
+# a single scatter-min selects both at once; 63 exceeds any real packed
+# value (max 4 * 8 + 4) and its low bits are harmless if ever masked.
+_PACKED_NONE = 63
+
+#: Initial capacity of the per-packet metadata arrays.
+_MIN_PACKET_CAPACITY = 1024
+
+
+class BatchedNocEngine:
+    """S independent mesh simulations as one flat lock-step engine.
+
+    Each lane is a full, isolated copy of the mesh: its own traffic
+    flows, injection accumulators, FIFOs, wormhole state and stats.
+    :meth:`run` advances every lane the same number of cycles and
+    returns one :class:`NocSimStats` per lane, each byte-identical to
+    what ``ArrayNocEngine(mesh, routing, ...).run(lane_flows, cycles)``
+    (and hence the legacy oracle) produces for that lane's traffic.
+
+    Args:
+        mesh: Tile mesh (shared by every lane).
+        routing: A **context-free** routing policy
+            (``routing.context_free`` must be true); adaptive policies
+            must run per-lane - see :func:`simulate_lanes`.
+        n_lanes: Number of independent simulations ``S``.
+        buffer_depth: Input FIFO depth in flits.
+        psn_pct: Optional PSN sensor readings: ``(n,)`` applies the
+            same field to every lane, ``(S, n)`` gives each lane its
+            own.  Context-free policies never read PSN (API parity
+            with the scalar engine); update mid-run via
+            :meth:`set_psn`.
+        rate_window: Kept for API parity with the scalar engine; the
+            data-rate measurement feeds only adaptive routing context,
+            which this engine never assembles.
+        seeds: Optional per-lane injection seeds (API parity; the
+            accumulator injection process is deterministic).
+        topology: Optional pre-built :class:`MeshTopology` to adopt
+            (never mutated); must match ``mesh``.
+        route_table: Optional complete ``(n, n)`` int8 route table for
+            ``routing`` (see :func:`repro.noc.engine.build_route_table`).
+            Adopted as-is - including read-only shared-memory views -
+            and shared by every lane, so one warm-pool table serves
+            the whole batch.
+    """
+
+    #: Topology-derived lookup tables, read-only once built: the same
+    #: contract (and mostly the same names) as ArrayNocEngine, so the
+    #: parmlint shared-readonly rule covers both engines with one
+    #: declaration set.  _tile_lane/_tile_local are the batch-specific
+    #: flat-index decompositions (flat tile -> lane, flat tile ->
+    #: in-mesh tile).
+    __shared_readonly__ = (
+        "_down_tile",
+        "_down_port",
+        "_down_flat",
+        "_edge_ok",
+        "_flat_slot_base",
+        "_is_local_row",
+        "_packed_rr",
+        "_route_table",
+        "_table_built",
+        "_tile_lane",
+        "_tile_local",
+    )
+    #: _route_table/_table_built columns are filled lazily, one
+    #: destination at a time, by this builder.
+    __shared_readonly_init__ = ("_build_route_columns",)
+
+    def __init__(
+        self,
+        mesh: MeshGeometry,
+        routing: RoutingAlgorithm,
+        n_lanes: int,
+        buffer_depth: int = 8,
+        psn_pct: Optional[np.ndarray] = None,
+        rate_window: int = 64,
+        seeds: Optional[Sequence[int]] = None,
+        topology: Optional[MeshTopology] = None,
+        route_table: Optional[np.ndarray] = None,
+    ):
+        if n_lanes < 1:
+            raise ValueError("n_lanes must be at least 1")
+        if buffer_depth < 1:
+            raise ValueError("buffer_depth must be at least 1")
+        if not routing.context_free:
+            raise ValueError(
+                "BatchedNocEngine batches context-free policies only; "
+                "run adaptive policies one lane at a time "
+                "(see repro.noc.batch.simulate_lanes)"
+            )
+        if topology is None:
+            self._topo = MeshTopology(mesh)
+        else:
+            if (
+                topology.mesh.width != mesh.width
+                or topology.mesh.height != mesh.height
+            ):
+                raise ValueError("adopted topology does not match the mesh")
+            self._topo = topology
+        self._routing = routing
+        self._depth = buffer_depth
+        n = mesh.tile_count
+        s = n_lanes
+        flat = s * n
+        self._n_local = n
+        self._n_lanes = s
+        self._n_tiles = flat
+        if psn_pct is None:
+            self._psn = np.zeros((s, n))
+        else:
+            psn = np.asarray(psn_pct, float)
+            if psn.shape == (n,):
+                self._psn = np.tile(psn, (s, 1))
+            elif psn.shape == (s, n):
+                self._psn = psn.copy()
+            else:
+                raise ValueError(
+                    "psn_pct must be (tiles,) shared or (lanes, tiles)"
+                )
+        self._rate_window = rate_window
+        if seeds is not None and len(seeds) != s:
+            raise ValueError("seeds must have one entry per lane")
+        self._seeds = tuple(seeds) if seeds is not None else tuple([0] * s)
+        self._cycle = 0
+        self._next_packet_id = 0
+
+        # --- structure-of-arrays network state -------------------------
+        # Identical layout to ArrayNocEngine with `flat = S * n` tiles:
+        # lane k owns rows [k*n, (k+1)*n).
+        self._buf_pkt_id = np.full(
+            (flat, _N_PORTS, buffer_depth), -1, np.int64
+        )
+        self._buf_flit_idx = np.zeros(
+            (flat, _N_PORTS, buffer_depth), np.int64
+        )
+        self._head_slot = np.zeros((flat, _N_PORTS), np.int64)
+        self._occ_flits = np.zeros((flat, _N_PORTS), np.int64)
+        self._assigned_out = np.full((flat, _N_PORTS), -1, np.int64)
+        self._wormhole_owner = np.full((flat, _N_PORTS), -1, np.int64)
+        self._rr_next = np.zeros((flat, _N_PORTS), np.int64)
+        self._fwd_flits = np.zeros(flat, np.int64)
+
+        # Block-diagonal downstream lookup: the single-mesh table with
+        # each lane's tile offset added, so forwards stay inside their
+        # lane.  Off-mesh entries are clamped to the lane's tile 0 and
+        # rejected at route-build time via _edge_ok, so no gather ever
+        # couples lanes or leaves the mesh.
+        neigh = self._topo.neighbor_codes()
+        edge_ok_local = neigh >= 0
+        lane_off = np.repeat(np.arange(s, dtype=np.int64) * n, n)
+        self._edge_ok = np.tile(edge_ok_local, (s, 1))
+        self._down_tile = (
+            np.tile(np.where(edge_ok_local, neigh, 0), (s, 1))
+            + lane_off[:, None]
+        )
+        self._down_port = np.broadcast_to(
+            np.asarray(OPPOSITE_CODES, np.int64), (flat, _N_PORTS)
+        ).copy()
+        self._is_local_row = np.tile(
+            np.arange(_N_PORTS) == _LOCAL, flat
+        )
+        self._down_flat = (
+            self._down_tile * _N_PORTS + self._down_port
+        ).ravel()
+        # Packed round-robin priority lookup: entry i * 5 + r holds the
+        # packed arbitration value of input port i under rotation
+        # pointer r, i.e. ((i - r) % 5) * 8 + i.
+        ii = np.repeat(np.arange(_N_PORTS, dtype=np.int64), _N_PORTS)
+        rr = np.tile(np.arange(_N_PORTS, dtype=np.int64), _N_PORTS)
+        self._packed_rr = ((ii - rr) % _N_PORTS) * 8 + ii
+        self._flat_slot_base = np.arange(
+            flat * _N_PORTS, dtype=np.int64
+        ) * buffer_depth
+        # Flat tile -> (lane, in-mesh tile) decompositions, for
+        # per-lane stats splits and local route-table gathers.
+        self._tile_lane = np.repeat(np.arange(s, dtype=np.int64), n)
+        self._tile_local = np.tile(np.arange(n, dtype=np.int64), s)
+
+        # Per-packet metadata, grown by doubling.  Destinations are
+        # stored as *in-mesh* tile ids (packets never change lanes, so
+        # the lane is implied by the packet's position).
+        self._pkt_dst = np.zeros(_MIN_PACKET_CAPACITY, np.int64)
+        self._pkt_size_flits = np.zeros(_MIN_PACKET_CAPACITY, np.int64)
+        self._pkt_inject_cycle = np.zeros(_MIN_PACKET_CAPACITY, np.int64)
+
+        # Route table: one (n, n) local table shared by every lane.
+        if route_table is not None:
+            if route_table.shape != (n, n):
+                raise ValueError("adopted route table has the wrong shape")
+            if route_table.dtype != np.int8:
+                raise ValueError("adopted route table must be int8")
+            self._route_table = route_table
+            self._table_built = np.ones(n, bool)
+        else:
+            self._route_table = np.full((n, n), -1, np.int8)
+            self._table_built = np.zeros(n, bool)
+        self._empty_ctx = RoutingContext()
+
+    @property
+    def topology(self) -> MeshTopology:
+        return self._topo
+
+    @property
+    def n_lanes(self) -> int:
+        return self._n_lanes
+
+    def set_psn(
+        self, psn_pct: np.ndarray, lane: Optional[int] = None
+    ) -> None:
+        """Replace PSN sensor readings mid-run.
+
+        With ``lane`` given, only that lane's ``(n,)`` field changes -
+        sibling lanes are untouched.  Without it, a ``(S, n)`` array
+        replaces every lane's field and a ``(n,)`` array is applied to
+        all lanes (2-D input is always read as per-lane).
+        """
+        psn = np.asarray(psn_pct, float)
+        n = self._n_local
+        if lane is not None:
+            if not 0 <= lane < self._n_lanes:
+                raise ValueError("lane out of range")
+            if psn.shape != (n,):
+                raise ValueError("psn_pct must have one entry per tile")
+            self._psn[lane] = psn
+        elif psn.shape == (self._n_lanes, n):
+            self._psn[:] = psn
+        elif psn.shape == (n,):
+            self._psn[:] = psn[None, :]
+        else:
+            raise ValueError(
+                "psn_pct must be (tiles,) shared or (lanes, tiles)"
+            )
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        flows: Sequence[Sequence[TrafficFlow]],
+        cycles: int,
+    ) -> List[NocSimStats]:
+        """Advance every lane ``cycles`` cycles; one stats per lane.
+
+        ``flows[k]`` is lane ``k``'s offered traffic, exactly as the
+        scalar engine's :meth:`ArrayNocEngine.run` takes it.
+        """
+        if cycles < 1:
+            raise ValueError("cycles must be at least 1")
+        if len(flows) != self._n_lanes:
+            raise ValueError("flows must have one sequence per lane")
+        n = self._n_local
+        s = self._n_lanes
+        flow_rate_l: List[float] = []
+        flow_size_l: List[int] = []
+        flow_src_l: List[int] = []  # flat (lane-offset) source tiles
+        flow_dst_l: List[int] = []  # in-mesh destination tiles
+        flow_lane_l: List[int] = []
+        for lane, lane_flows in enumerate(flows):
+            off = lane * n
+            for f in lane_flows:
+                self._topo.mesh._check_tile(f.src)
+                self._topo.mesh._check_tile(f.dst)
+                if f.src == f.dst:
+                    raise ValueError(
+                        "flows must cross the network (src != dst)"
+                    )
+                flow_rate_l.append(f.rate)
+                flow_size_l.append(f.packet_size)
+                flow_src_l.append(f.src + off)
+                flow_dst_l.append(f.dst)
+                flow_lane_l.append(lane)
+
+        n_flows = len(flow_src_l)
+        acc = np.zeros(n_flows)
+        flow_rate = np.array(flow_rate_l, float)
+        flow_size = np.array(flow_size_l, np.int64)
+        flow_src = np.array(flow_src_l, np.int64)
+        flow_dst = np.array(flow_dst_l, np.int64)
+        flow_lane = np.array(flow_lane_l, np.int64)
+        if flow_dst_l:
+            # Pre-build the route-table columns this run can need, so
+            # the per-cycle fast path is a single gather.
+            self._build_route_columns(np.unique(flow_dst))
+        # Per-source backlog of injected-but-not-yet-buffered flits, as
+        # ring buffers over flat sources: (pkt id, flit index) per
+        # queued flit, with absolute read/write cursors (slot =
+        # cursor % capacity).  Functionally the scalar engine's
+        # per-source deque + `pushed` partial-packet counter, but
+        # drained with repeat/cumsum index arithmetic instead of a
+        # per-flit python loop.  Like the scalar engine's, the backlog
+        # is run-local: flits still queued when the run ends are
+        # dropped.
+        bl_cap = 64
+        bl_pkt = np.zeros((self._n_tiles, bl_cap), np.int64)
+        bl_fidx = np.zeros((self._n_tiles, bl_cap), np.int64)
+        bl_rd = np.zeros(self._n_tiles, np.int64)
+        bl_wr = np.zeros(self._n_tiles, np.int64)
+        injected = np.zeros(s, np.int64)
+        flits_del = np.zeros(s, np.int64)
+        pk_del = np.zeros(s, np.int64)
+        lat_lanes: List[np.ndarray] = []
+        lat_vals: List[np.ndarray] = []
+        depth = self._depth
+        flat = self._n_tiles
+        occ = self._occ_flits
+        head_slot = self._head_slot
+        assigned = self._assigned_out
+        owner = self._wormhole_owner
+        rows5 = np.arange(flat) * _N_PORTS
+        in_col = np.arange(_N_PORTS, dtype=np.int64)[:, None]
+        in_col5 = in_col * _N_PORTS
+
+        for _ in range(cycles):
+            self._cycle += 1
+            # --- injection (vectorised flow accumulators) --------------
+            # One vector add covers every lane's accumulators.  The
+            # scalar engine then emits packets per triggered flow with
+            # a repeated-subtraction loop (`while acc >= size: acc -=
+            # size`); every one of those subtractions is *exact* in
+            # float64 (the subtrahend is a small integer and the
+            # result's ulp can only shrink), so the loop's packet count
+            # is the true floor(acc / size) and its final accumulator
+            # is acc - count * size.  Computing both directly - with a
+            # +-1 correction for the division's last-ulp rounding -
+            # reproduces the scalar emission bit-for-bit without the
+            # python loop.
+            if n_flows:
+                np.add(acc, flow_rate, out=acc)
+                trig = np.nonzero(acc >= flow_size)[0]
+                if len(trig):
+                    tr_size = flow_size[trig]
+                    tr_acc = acc[trig]
+                    k = np.floor_divide(tr_acc, tr_size).astype(np.int64)
+                    rem = tr_acc - k * tr_size
+                    under = rem < 0
+                    if under.any():
+                        k[under] -= 1
+                        rem[under] += tr_size[under]
+                    over = rem >= tr_size
+                    if over.any():
+                        k[over] += 1
+                        rem[over] -= tr_size[over]
+                    acc[trig] = rem
+                    np.add.at(injected, flow_lane[trig], k)
+                    # Packet ids are allocated in ascending flow order
+                    # (np.nonzero order == the scalar loop's order),
+                    # then expanded to one backlog entry per flit.
+                    pkt_src = np.repeat(flow_src[trig], k)
+                    pkt_sizes = np.repeat(tr_size, k)
+                    pids = self._new_packets(
+                        np.repeat(flow_dst[trig], k), pkt_sizes
+                    )
+                    n_new = int(pkt_sizes.sum())
+                    fstart = np.cumsum(pkt_sizes) - pkt_sizes
+                    fidx_new = np.arange(n_new) - np.repeat(
+                        fstart, pkt_sizes
+                    )
+                    f_src = np.repeat(pkt_src, pkt_sizes)
+                    f_pkt = np.repeat(pids, pkt_sizes)
+                    # Ring-append in emission order: each flit lands at
+                    # its source's write cursor plus the number of
+                    # earlier same-source flits this cycle (stable sort
+                    # keeps the in-cycle order; sources are usually
+                    # unique per cycle, making this a no-op shuffle).
+                    order = np.argsort(f_src, kind="stable")
+                    inv = np.empty_like(order)
+                    inv[order] = np.arange(n_new)
+                    sorted_src = f_src[order]
+                    grp_start = np.empty(n_new, bool)
+                    grp_start[0] = True
+                    np.not_equal(
+                        sorted_src[1:], sorted_src[:-1],
+                        out=grp_start[1:],
+                    )
+                    pos_sorted = np.arange(n_new)
+                    cumoff = (
+                        pos_sorted
+                        - np.maximum.accumulate(
+                            np.where(grp_start, pos_sorted, 0)
+                        )
+                    )[inv]
+                    counts = np.bincount(f_src, minlength=flat)
+                    needed = int((bl_wr + counts - bl_rd).max())
+                    while needed > bl_cap:
+                        bl_cap, bl_pkt, bl_fidx = self._grow_backlog(
+                            bl_cap, bl_pkt, bl_fidx, bl_rd, bl_wr
+                        )
+                    wpos = (bl_wr[f_src] + cumoff) % bl_cap
+                    bl_pkt[f_src, wpos] = f_pkt
+                    bl_fidx[f_src, wpos] = fidx_new
+                    bl_wr += counts
+            # Stream backlog flits into the LOCAL ports as space
+            # permits, in strict per-source FIFO order (a packet may
+            # straddle cycles; the ring's flit indices carry the
+            # partial-packet position the scalar engine tracks in
+            # `pushed`).  One repeat/cumsum expansion plans every push
+            # in the batch; one scatter commits them.
+            pend = bl_wr - bl_rd
+            if pend.any():
+                act = np.nonzero(pend)[0]
+                occ_l = occ[act, _LOCAL]
+                cnt = np.minimum(depth - occ_l, pend[act])
+                pushable = cnt > 0
+                if pushable.any():
+                    act = act[pushable]
+                    cnt = cnt[pushable]
+                    occ_l = occ_l[pushable]
+                    total = int(cnt.sum())
+                    rep = np.repeat(act, cnt)
+                    off = np.arange(total) - np.repeat(
+                        np.cumsum(cnt) - cnt, cnt
+                    )
+                    rpos = (bl_rd[rep] + off) % bl_cap
+                    slot = (
+                        np.repeat(head_slot[act, _LOCAL] + occ_l, cnt)
+                        + off
+                    ) % depth
+                    self._buf_pkt_id[rep, _LOCAL, slot] = bl_pkt[
+                        rep, rpos
+                    ]
+                    self._buf_flit_idx[rep, _LOCAL, slot] = bl_fidx[
+                        rep, rpos
+                    ]
+                    occ[act, _LOCAL] += cnt
+                    bl_rd[act] += cnt
+
+            # --- route computation + switch traversal ------------------
+            nonempty = occ > 0
+            if nonempty.any():
+                flat_heads = self._flat_slot_base + head_slot.ravel()
+                head_pkt = self._buf_pkt_id.take(flat_heads).reshape(
+                    flat, _N_PORTS
+                )
+                head_idx = self._buf_flit_idx.take(flat_heads).reshape(
+                    flat, _N_PORTS
+                )
+                need = nonempty & (assigned < 0)
+                t_idx, p_idx = np.nonzero(need)
+                if len(t_idx):
+                    if (head_idx[t_idx, p_idx] != 0).any():
+                        raise RuntimeError(
+                            "body flit without wormhole route"
+                        )
+                    dsts = self._pkt_dst[head_pkt[t_idx, p_idx]]
+                    # One (n, n) table serves every lane: row = the
+                    # tile's in-mesh id, column = in-mesh destination.
+                    assigned[t_idx, p_idx] = self._route_table[
+                        self._tile_local.take(t_idx), dsts
+                    ]
+
+                # Arbitration without the (tiles, out, in) tensor: an
+                # input port requests exactly one output (its wormhole
+                # assignment), so each tile has at most 5 request
+                # edges.  The per-edge gate/key computations run as
+                # single (ports, tiles) transposed ops, then each in-
+                # port scatter-minimises a *packed* (rr key, in port)
+                # value into a flat (tile, out) grid - the minimum of
+                # key * 8 + port selects the winning key and port
+                # together.  Keys (i - ptr) % 5 are distinct per input
+                # port, so there are never ties, and min reproduces
+                # argmin's first-index tie-break regardless.
+                down_free = occ.take(self._down_flat) < depth
+                can_move = down_free | self._is_local_row
+                head_ready = nonempty & (head_idx == 0)
+                # Flat (tile, out) index of each (in-port, tile)
+                # request; unrouted ports are clamped to out 0 and
+                # masked by valid.
+                gidx = rows5[None, :] + np.maximum(assigned.T, 0)
+                own = owner.take(gidx)
+                # Wormhole gating: an owned output only admits its
+                # owner; a free output only admits head flits.
+                gate = np.where(own >= 0, own == in_col, head_ready.T)
+                valid = nonempty.T & gate & can_move.take(gidx)
+                packed = np.where(
+                    valid,
+                    self._packed_rr.take(
+                        in_col5 + self._rr_next.take(gidx)
+                    ),
+                    _PACKED_NONE,
+                )
+                best = np.full(flat * _N_PORTS, _PACKED_NONE, np.int64)
+                for i in range(_N_PORTS):
+                    gi = gidx[i]
+                    best.put(gi, np.minimum(best.take(gi), packed[i]))
+                mvs = np.nonzero(best < _PACKED_NONE)[0]
+                if len(mvs):
+                    # mvs is the winners' flat (tile, out) index, in
+                    # flat-tile-ascending order.
+                    mt = mvs // _N_PORTS
+                    mo = mvs % _N_PORTS
+                    mi = best.take(mvs) & 7
+                    idx_mv = mt * _N_PORTS + mi
+                    self._rr_next.put(mvs, (mi + 1) % _N_PORTS)
+                    # Gather per-move data before mutating anything; an
+                    # input port wins at most one output per cycle, so
+                    # the pre-move head entries stay valid.
+                    slots = head_slot.take(idx_mv)
+                    pkts = head_pkt.take(idx_mv)
+                    fidx = head_idx.take(idx_mv)
+                    is_tail = fidx == self._pkt_size_flits[pkts] - 1
+                    # Pops ((tile, in port) pairs are unique).
+                    head_slot.put(idx_mv, (slots + 1) % depth)
+                    occ.put(idx_mv, occ.take(idx_mv) - 1)
+                    self._fwd_flits += np.bincount(mt, minlength=flat)
+                    # Wormhole bookkeeping: tails release the output,
+                    # heads of multi-flit packets claim it.
+                    assigned.put(idx_mv[is_tail], -1)
+                    owner.put(mvs[is_tail], -1)
+                    claim = (fidx == 0) & ~is_tail
+                    owner.put(mvs[claim], mi[claim])
+                    # Ejections: winners come out flat-tile ascending =
+                    # lane-major, so each lane's latencies append in
+                    # its own scalar-engine order.
+                    local = mo == _LOCAL
+                    done = local & is_tail
+                    if local.any():
+                        flits_del += np.bincount(
+                            self._tile_lane[mt[local]], minlength=s
+                        )
+                    if done.any():
+                        done_lanes = self._tile_lane[mt[done]]
+                        pk_del += np.bincount(done_lanes, minlength=s)
+                        lat_lanes.append(done_lanes)
+                        lat_vals.append(
+                            self._cycle
+                            - self._pkt_inject_cycle[pkts[done]]
+                        )
+                    # Forwards: push into the downstream FIFO.  Each
+                    # downstream port has exactly one upstream (tile,
+                    # output), so pushes never collide, and the append
+                    # slot head+occupancy is invariant under the
+                    # port's own pop this cycle.
+                    fwd = ~local
+                    ds_idx = self._down_flat.take(mvs[fwd])
+                    push = (
+                        head_slot.take(ds_idx) + occ.take(ds_idx)
+                    ) % depth
+                    buf_idx = ds_idx * depth + push
+                    self._buf_pkt_id.put(buf_idx, pkts[fwd])
+                    self._buf_flit_idx.put(buf_idx, fidx[fwd])
+                    occ.put(ds_idx, occ.take(ds_idx) + 1)
+            # (No data-rate measurement window: rates feed only
+            # adaptive routing context, which this engine never
+            # assembles - context-free decisions cannot observe them.)
+
+        # --- per-lane stats splits ------------------------------------
+        if lat_lanes:
+            lanes_all = np.concatenate(lat_lanes)
+            lats_all = np.concatenate(lat_vals)
+        else:
+            lanes_all = np.zeros(0, np.int64)
+            lats_all = np.zeros(0, np.int64)
+        results: List[NocSimStats] = []
+        for lane in range(s):
+            stats = NocSimStats(
+                cycles=cycles,
+                packets_injected=injected[lane],
+                packets_delivered=int(pk_del[lane]),
+                flits_delivered=int(flits_del[lane]),
+            )
+            # Boolean masking is order-preserving, so this is the
+            # lane's chronological (scalar-order) latency list.
+            stats.packet_latencies.extend(
+                lats_all[lanes_all == lane].tolist()
+            )
+            stats.router_flits_per_cycle = (
+                self._fwd_flits[lane * n:(lane + 1) * n] / self._cycle
+            )
+            results.append(stats)
+        return results
+
+    # ------------------------------------------------------------------
+
+    def _new_packets(
+        self, dsts: np.ndarray, sizes: np.ndarray
+    ) -> np.ndarray:
+        """Allocate packet ids for a whole emission burst at once."""
+        start = self._next_packet_id
+        end = start + len(dsts)
+        while end > len(self._pkt_dst):
+            grow = len(self._pkt_dst)
+            self._pkt_dst = np.concatenate(
+                [self._pkt_dst, np.zeros(grow, np.int64)]
+            )
+            self._pkt_size_flits = np.concatenate(
+                [self._pkt_size_flits, np.zeros(grow, np.int64)]
+            )
+            self._pkt_inject_cycle = np.concatenate(
+                [self._pkt_inject_cycle, np.zeros(grow, np.int64)]
+            )
+        self._pkt_dst[start:end] = dsts
+        self._pkt_size_flits[start:end] = sizes
+        self._pkt_inject_cycle[start:end] = self._cycle
+        self._next_packet_id = end
+        return np.arange(start, end, dtype=np.int64)
+
+    @staticmethod
+    def _grow_backlog(
+        cap: int,
+        bl_pkt: np.ndarray,
+        bl_fidx: np.ndarray,
+        bl_rd: np.ndarray,
+        bl_wr: np.ndarray,
+    ) -> Tuple[int, np.ndarray, np.ndarray]:
+        """Double the backlog rings, re-slotting pending flits.
+
+        Cursors are absolute, so only the modulus changes: every
+        pending entry moves from ``pos % cap`` to ``pos % (2 * cap)``.
+        """
+        new_cap = cap * 2
+        new_pkt = np.zeros((len(bl_rd), new_cap), np.int64)
+        new_fidx = np.zeros((len(bl_rd), new_cap), np.int64)
+        pend = bl_wr - bl_rd
+        act = np.nonzero(pend)[0]
+        if len(act):
+            total = int(pend[act].sum())
+            rep = np.repeat(act, pend[act])
+            off = np.arange(total) - np.repeat(
+                np.cumsum(pend[act]) - pend[act], pend[act]
+            )
+            pos = bl_rd[rep] + off
+            new_pkt[rep, pos % new_cap] = bl_pkt[rep, pos % cap]
+            new_fidx[rep, pos % new_cap] = bl_fidx[rep, pos % cap]
+        return new_cap, new_pkt, new_fidx
+
+    def _build_route_columns(self, dsts: np.ndarray) -> None:
+        """Fill route-table columns for the given in-mesh destinations.
+
+        Byte-for-byte the scalar engine's builder over the single
+        ``(n, n)`` table that all lanes share.
+        """
+        n = self._n_local
+        rows = np.arange(n)
+        edge_ok_local = self._edge_ok[:n]
+        for dst in dsts.tolist():
+            if self._table_built[dst]:
+                continue
+            col = np.array(
+                [
+                    PORT_CODES[
+                        self._routing.select(
+                            self._topo, cur, dst, self._empty_ctx
+                        )
+                    ]
+                    for cur in range(n)
+                ],
+                np.int8,
+            )
+            # Reject off-mesh routes at build time so the cycle loop
+            # never needs an edge guard.
+            bad = ~edge_ok_local[rows, col]
+            if bad.any():
+                tile = int(np.nonzero(bad)[0][0])
+                raise RuntimeError(f"route off mesh edge at tile {tile}")
+            self._route_table[:, dst] = col
+            self._table_built[dst] = True
+
+
+@dataclass(frozen=True)
+class LaneSpec:
+    """One lane of a batched (or per-lane fallback) simulation.
+
+    Args:
+        flows: The lane's offered traffic.
+        seed: Injection seed (API parity; forwarded to the engine).
+        psn_pct: Optional per-tile PSN field for this lane.
+    """
+
+    flows: Tuple[TrafficFlow, ...]
+    seed: int = 0
+    psn_pct: Optional[Tuple[float, ...]] = None
+
+    def psn_array(self, n_tiles: int) -> np.ndarray:
+        if self.psn_pct is None:
+            return np.zeros(n_tiles)
+        psn = np.asarray(self.psn_pct, float)
+        if psn.shape != (n_tiles,):
+            raise ValueError("psn_pct must have one entry per tile")
+        return psn
+
+
+def simulate_lanes(
+    mesh: MeshGeometry,
+    routing: RoutingAlgorithm,
+    lanes: Sequence[LaneSpec],
+    cycles: int,
+    buffer_depth: int = 8,
+    rate_window: int = 64,
+    topology: Optional[MeshTopology] = None,
+    route_table: Optional[np.ndarray] = None,
+) -> List[NocSimStats]:
+    """Simulate independent lanes, batched when the policy allows it.
+
+    Context-free policies run every lane in **one**
+    :class:`BatchedNocEngine` pass; adaptive policies (which the
+    batched engine rejects) fall back to a fresh
+    :class:`ArrayNocEngine` per lane.  Both paths produce stats
+    flit-for-flit identical to scalar runs, so callers need not care
+    which path served them.
+
+    Args:
+        mesh: Tile mesh shared by every lane.
+        routing: Routing policy (any; batching applies when
+            ``routing.context_free``).
+        lanes: Per-lane traffic/seed/PSN specs.
+        cycles: Cycles to advance every lane.
+        buffer_depth: Input FIFO depth in flits.
+        rate_window: Data-rate window (adaptive lanes only).
+        topology: Optional pre-built topology to adopt.
+        route_table: Optional shared ``(n, n)`` route table
+            (context-free only).
+    """
+    if not lanes:
+        return []
+    n = mesh.tile_count
+    if routing.context_free:
+        psn = np.stack([spec.psn_array(n) for spec in lanes])
+        engine = BatchedNocEngine(
+            mesh,
+            routing,
+            n_lanes=len(lanes),
+            buffer_depth=buffer_depth,
+            psn_pct=psn,
+            rate_window=rate_window,
+            seeds=[spec.seed for spec in lanes],
+            topology=topology,
+            route_table=route_table,
+        )
+        return engine.run([spec.flows for spec in lanes], cycles)
+    results: List[NocSimStats] = []
+    for spec in lanes:
+        engine = ArrayNocEngine(
+            mesh,
+            routing,
+            buffer_depth=buffer_depth,
+            psn_pct=spec.psn_array(n),
+            rate_window=rate_window,
+            seed=spec.seed,
+            topology=topology,
+        )
+        results.append(engine.run(list(spec.flows), cycles))
+    return results

@@ -344,6 +344,7 @@ def bench_e2e_sweep(quick: bool, workers: int, tmp_dir: str) -> Dict[str, Dict[s
 def bench_noc_engine(quick: bool) -> Dict[str, Dict[str, Any]]:
     from repro.chip.mesh import MeshGeometry
     from repro.exp.routing_sweep import hotspot_psn, uniform_random_flows
+    from repro.noc.batch import BatchedNocEngine
     from repro.noc.cycle import CycleNocSimulator
     from repro.noc.engine import ArrayNocEngine
     from repro.noc.routing import make_routing
@@ -370,7 +371,68 @@ def bench_noc_engine(quick: bool) -> Dict[str, Dict[str, Any]]:
             mesh, make_routing("panr"), psn_pct=psn, seed=3
         ).run(flows, cycles)
 
+    # The batched pair: a context-free sweep (rates x seeds) run as a
+    # loop of fresh scalar engines - exactly what a serial sweep did
+    # before batching - vs one BatchedNocEngine advancing every lane in
+    # lock-step.  Full mode is the acceptance workload: 32 lanes on the
+    # 8x8 mesh.
+    batch_rates = (0.05, 0.15, 0.25, 0.35)
+    batch_seeds = tuple(range(101, 103 if quick else 109))
+    batch_cycles = 500 if quick else 1000
+    batch_lanes = [
+        uniform_random_flows(mesh, r, seed=s, packet_size_flits=4)
+        for r in batch_rates
+        for s in batch_seeds
+    ]
+    lane_seeds = [s for _ in batch_rates for s in batch_seeds]
+
+    def batch_loop() -> List[Any]:
+        return [
+            ArrayNocEngine(
+                mesh, make_routing("xy"), psn_pct=psn, seed=seed
+            ).run(lane_flows, batch_cycles)
+            for lane_flows, seed in zip(batch_lanes, lane_seeds)
+        ]
+
+    def batched() -> List[Any]:
+        return BatchedNocEngine(
+            mesh,
+            make_routing("xy"),
+            n_lanes=len(batch_lanes),
+            psn_pct=psn,
+            seeds=lane_seeds,
+        ).run(batch_lanes, batch_cycles)
+
+    # Identity before timing: every batch lane must be flit-for-flit
+    # identical to its scalar run (stats equality covers injected /
+    # delivered counts, every latency sample and per-router activity).
+    for lane, (scalar_stats, batch_stats) in enumerate(
+        zip(batch_loop(), batched())
+    ):
+        if (
+            scalar_stats.packets_injected != batch_stats.packets_injected
+            or scalar_stats.packets_delivered
+            != batch_stats.packets_delivered
+            or scalar_stats.flits_delivered != batch_stats.flits_delivered
+            or scalar_stats.packet_latencies
+            != batch_stats.packet_latencies
+            or not np.array_equal(
+                scalar_stats.router_flits_per_cycle,
+                batch_stats.router_flits_per_cycle,
+            )
+        ):
+            raise RuntimeError(
+                f"batched NoC engine diverged from scalar on lane {lane}"
+            )
+
     meta = {"mesh": "8x8", "rate_flits_per_cycle": rate, "cycles": cycles}
+    batch_meta = {
+        "mesh": "8x8",
+        "routing": "xy",
+        "lanes": len(batch_lanes),
+        "rates": list(batch_rates),
+        "cycles": batch_cycles,
+    }
     return {
         "noc_engine_legacy": {
             "seconds": _time_best(legacy, repeats),
@@ -384,11 +446,24 @@ def bench_noc_engine(quick: bool) -> Dict[str, Dict[str, Any]]:
             "seconds": _time_best(adaptive, repeats),
             "meta": {**meta, "routing": "panr"},
         },
+        "noc_engine_batch_loop": {
+            "seconds": _time_best(batch_loop, repeats),
+            "meta": {**batch_meta, "note": "fresh scalar engine per lane"},
+        },
+        "noc_engine_batched": {
+            "seconds": _time_best(batched, repeats),
+            "meta": {**batch_meta, "note": "one lock-step batched engine"},
+        },
     }
 
 
 def bench_routing_sweep(quick: bool, workers: int) -> Dict[str, Dict[str, Any]]:
-    from repro.exp.routing_sweep import routing_sweep
+    from repro.exp.routing_sweep import (
+        SweepPoint,
+        routing_sweep,
+        run_batch,
+        run_point,
+    )
 
     kwargs: Dict[str, Any] = dict(
         rates=(0.15, 0.35) if quick else (0.05, 0.15, 0.25, 0.35),
@@ -398,6 +473,23 @@ def bench_routing_sweep(quick: bool, workers: int) -> Dict[str, Dict[str, Any]]:
         seeds=(1,) if quick else (1, 2),
         cycles=800 if quick else 2000,
     )
+    # Batched-lane identity: the sweep's context-free grid runs as
+    # BatchedNocEngine lanes, so pin the whole xy group against the
+    # historical per-point scalar path before anything is timed.
+    xy_points = [
+        SweepPoint(
+            policy="xy",
+            injection_rate_flits=rate,
+            seed=seed,
+            cycles=kwargs["cycles"],
+        )
+        for rate in kwargs["rates"]
+        for seed in kwargs["seeds"]
+    ]
+    if run_batch(xy_points) != [run_point(p) for p in xy_points]:
+        raise RuntimeError(
+            "batched routing-sweep lanes diverged from scalar points"
+        )
     start = time.perf_counter()
     serial_rows = routing_sweep(workers=1, **kwargs)
     serial_s = time.perf_counter() - start
@@ -598,6 +690,11 @@ def run_suite(
         ("pool_reuse_speedup", "pool_warmup", "pool_reuse"),
         ("noc_engine_speedup", "noc_engine_legacy", "noc_engine_array"),
         (
+            "noc_engine_batch_speedup",
+            "noc_engine_batch_loop",
+            "noc_engine_batched",
+        ),
+        (
             "routing_sweep_parallel_speedup",
             "routing_sweep_serial",
             "routing_sweep_parallel",
@@ -626,23 +723,37 @@ PARALLEL_SPEEDUP_GATES = (
     "routing_sweep_parallel_speedup",
 )
 
+#: Derived speedups that must exceed 1.0x in full mode regardless of
+#: core count: batching wins by cutting python dispatch overhead inside
+#: one process, so a single-core host has no excuse.
+BATCH_SPEEDUP_GATES = ("noc_engine_batch_speedup",)
+
 
 def parallel_speedup_failures(result: Dict[str, Any]) -> List[str]:
     """Full-mode gate: warm-pool parallel runs must beat serial.
 
     Quick runs log the speedups without gating (their workloads are too
     small to amortise anything), and a single-core machine cannot beat
-    serial throughput no matter how warm the pool is, so the gate only
-    applies when ``os.cpu_count() >= 2`` and the missing check is
-    reported as a skip instead.
+    serial throughput no matter how warm the pool is, so the
+    multi-process gates only apply when ``os.cpu_count() >= 2`` and the
+    missing check is reported as a skip instead.  The batched-engine
+    gates (:data:`BATCH_SPEEDUP_GATES`) are in-process vectorisation
+    wins and are enforced on any core count.
     """
     import os
 
     if result.get("quick"):
         return []
-    if (os.cpu_count() or 1) < 2:
-        return []
     failures = []
+    for name in BATCH_SPEEDUP_GATES:
+        value = result.get("derived", {}).get(name)
+        if value is not None and value <= 1.0:
+            failures.append(
+                f"{name}: {value:.2f}x <= 1.00x "
+                "(the batched engine must beat a scalar-engine loop)"
+            )
+    if (os.cpu_count() or 1) < 2:
+        return failures
     for name in PARALLEL_SPEEDUP_GATES:
         value = result.get("derived", {}).get(name)
         if value is not None and value <= 1.0:
@@ -766,6 +877,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 " (quick run)" if result["quick"] else " (single-core host)"
             )
             print(f"  {name}: {value:.2f}x [{state}{reason}]")
+    for name in BATCH_SPEEDUP_GATES:
+        value = result["derived"].get(name)
+        if value is not None:
+            state = (
+                "logged, gate skipped (quick run)"
+                if result["quick"]
+                else "gated > 1.0x on any core count"
+            )
+            print(f"  {name}: {value:.2f}x [{state}]")
 
     if args.baseline:
         with open(args.baseline, "r", encoding="utf-8") as handle:

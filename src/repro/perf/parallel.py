@@ -73,10 +73,12 @@ START_METHOD = "spawn"
 #: stale as new fan-outs appear; tests/perf/test_worker_roots.py pins
 #: that each entry resolves to a real callable.
 WORKER_ROOTS = (
+    "repro.exp.routing_sweep.run_batch",
     "repro.exp.routing_sweep.run_point",
     "repro.exp.verify.sequential.run_replica_cell",
     "repro.harness.supervisor.CellExecutor.run_cell",
     "repro.harness.supervisor.default_cell_runner",
+    "repro.perf.parallel._chunk_runner",
     "repro.perf.parallel._pool_run_cell",
     "repro.perf.parallel._worker_init",
     "repro.perf.pool._probe_worker",
@@ -118,6 +120,57 @@ def _require_picklable(cell_runner: CellRunner) -> None:
             runner=repr(cell_runner),
             error=str(exc),
         ) from exc
+
+
+class _ChunkTaskError(Exception):
+    """One task inside a shipped chunk raised (picklable carrier).
+
+    Carries the failing task's in-chunk index and the original
+    exception, so the parent can charge the right *global* task index
+    and report the original error type - not the chunk wrapper.  The
+    ``(index, cause)`` args round-trip through ``Exception.__reduce__``,
+    so the error survives the pool's pickling like any worker exception.
+    """
+
+    def __init__(self, index: int, cause: BaseException) -> None:
+        super().__init__(index, cause)
+        self.index = index
+        self.cause = cause
+
+
+def _chunk_runner(chunk: Any) -> List[Any]:
+    """Run one ``(fn, tasks)`` chunk in a worker (the chunked pool task).
+
+    Batching many small task descriptors into one pickle/queue round
+    trip is what makes fine-grained sweeps scale; results come back as
+    one list in task order.  Taxonomy errors propagate unchanged (they
+    already carry provenance); any other failure is wrapped in
+    :class:`_ChunkTaskError` with its in-chunk index.
+    """
+    fn, chunk_tasks = chunk
+    results = []
+    for index, task in enumerate(chunk_tasks):
+        try:
+            results.append(fn(task))
+        except ReproError:
+            raise
+        except Exception as exc:  # parmlint: ok[broad-except]
+            raise _ChunkTaskError(index, exc) from exc
+    return results
+
+
+def _auto_chunk_size(n_tasks: int, workers: int) -> int:
+    """Heuristic chunk size: ~4 chunks per worker once tasks are many.
+
+    Small task counts stay unchunked (one descriptor per round trip
+    costs little and keeps failure attribution trivial); beyond 4 tasks
+    per worker, consecutive tasks are grouped so each worker sees a
+    handful of queue round trips instead of hundreds, while 4 chunks
+    per worker preserve load balancing against uneven task costs.
+    """
+    if n_tasks <= 4 * workers:
+        return 1
+    return -(-n_tasks // (4 * workers))
 
 
 def _task_context(index: int, task: Any, exc: BaseException) -> Dict[str, Any]:
@@ -181,6 +234,7 @@ def map_tasks(
     retries: int = 0,
     retry_seed: int = 0,
     sleep_fn: Optional[Callable[[float], None]] = None,
+    chunk_size: Optional[int] = None,
 ) -> List[Any]:
     """Map a pure, module-level ``fn`` over ``tasks``; results in order.
 
@@ -198,6 +252,18 @@ def map_tasks(
     :class:`~repro.harness.errors.WorkerCrash` carrying the task index
     and repr - never a bare traceback with no hint of which input died.
     Taxonomy errors raised by ``fn`` itself propagate unchanged.
+
+    Many small tasks are *chunked*: consecutive task descriptors are
+    grouped into one pickle/queue round trip per chunk (the per-task
+    dispatch overhead otherwise dominates fine-grained sweeps).
+    ``chunk_size=None`` picks the size automatically - unchunked until
+    tasks exceed four per worker, then ~4 chunks per worker (see
+    :func:`_auto_chunk_size`); pass an explicit size to override.
+    Chunking never changes results: merges stay keyed by the global
+    task index, so the returned list is byte-identical for any chunk
+    size, and a failing task is still reported under its own index and
+    original error type (a failed chunk re-runs whole, which is safe
+    because ``fn`` is pure).
 
     With ``retries > 0`` each task additionally owns a bounded retry
     budget: a crashed or raising task is resubmitted (to a rebuilt pool
@@ -222,14 +288,16 @@ def map_tasks(
         sleep_fn: Receives each backoff delay in seconds; ``None`` (the
             default) records no delay and retries immediately, which
             keeps tests and deterministic replays instant.
+        chunk_size: Tasks per pickle/queue round trip; ``None`` (the
+            default) chooses automatically, ``1`` disables chunking.
 
     Returns:
         ``[fn(t) for t in tasks]`` in task order, regardless of
         completion order.
 
     Raises:
-        ConfigError: on ``workers < 1``, ``retries < 0``, or an
-            unpicklable ``fn``.
+        ConfigError: on ``workers < 1``, ``retries < 0``,
+            ``chunk_size < 1``, or an unpicklable ``fn``.
         WorkerCrash: when a task exhausts its attempts raising
             non-taxonomy exceptions or losing worker processes; context
             identifies the task and attempt count.
@@ -239,6 +307,8 @@ def map_tasks(
         raise ConfigError("workers must be >= 1", workers=workers)
     if retries < 0:
         raise ConfigError("retries must be >= 0", retries=retries)
+    if chunk_size is not None and chunk_size < 1:
+        raise ConfigError("chunk_size must be >= 1", chunk_size=chunk_size)
     budget = _MapRetryBudget(retries, retry_seed, sleep_fn)
     if workers == 1 or len(tasks) <= 1:
         results = []
@@ -266,9 +336,19 @@ def map_tasks(
             error=str(exc),
         ) from exc
 
+    if chunk_size is None:
+        chunk_size = _auto_chunk_size(len(tasks), workers)
+
     results_by_index: Dict[int, Any] = {}
     unfinished = list(range(len(tasks)))
     while unfinished:
+        # One submission unit is a chunk of consecutive task indices
+        # (singleton chunks when unchunked); merges stay keyed by the
+        # global index, so chunking cannot reorder results.
+        chunks = [
+            unfinished[start:start + chunk_size]
+            for start in range(0, len(unfinished), chunk_size)
+        ]
         # Lease the persistent warm pool; a broken pool is flagged via
         # the lease and rebuilt by the next round's lease_pool call.
         lease = warm_pool.lease_pool(workers)
@@ -276,9 +356,12 @@ def map_tasks(
         futures: Dict[int, Future] = {}
         try:
             submit_failure: Optional[BaseException] = None
-            for index in unfinished:
+            for position, chunk in enumerate(chunks):
                 try:
-                    futures[index] = lease.pool.submit(fn, tasks[index])
+                    futures[position] = lease.pool.submit(
+                        _chunk_runner,
+                        (fn, [tasks[index] for index in chunk]),
+                    )
                 except BrokenProcessPool as exc:
                     # The pool died between calls (e.g. an idle worker
                     # was OOM-killed); charge the unsubmitted tasks and
@@ -286,19 +369,20 @@ def map_tasks(
                     lease.mark_broken()
                     submit_failure = exc
                     break
-            for index in unfinished:
-                future = futures.get(index)
+            for position, chunk in enumerate(chunks):
+                future = futures.get(position)
                 if future is None:
-                    budget.charge(
-                        index,
-                        tasks[index],
-                        submit_failure,
-                        "worker process died before completing its task",
-                    )
-                    retry_indices.append(index)
+                    for index in chunk:
+                        budget.charge(
+                            index,
+                            tasks[index],
+                            submit_failure,
+                            "worker process died before completing its task",
+                        )
+                        retry_indices.append(index)
                     continue
                 try:
-                    results_by_index[index] = future.result()
+                    chunk_results = future.result()
                 except ReproError:
                     raise
                 except BrokenProcessPool as exc:
@@ -306,23 +390,38 @@ def map_tasks(
                     # kill, segfault, interpreter abort); every future
                     # still in flight fails with it.
                     lease.mark_broken()
+                    for index in chunk:
+                        budget.charge(
+                            index,
+                            tasks[index],
+                            exc,
+                            "worker process died before completing its task",
+                        )
+                        retry_indices.append(index)
+                except _ChunkTaskError as exc:
+                    # Charge the failing task under its global index
+                    # and original error; the whole chunk re-runs (fn
+                    # is pure, so recomputed siblings cannot diverge).
                     budget.charge(
-                        index,
-                        tasks[index],
-                        exc,
-                        "worker process died before completing its task",
+                        chunk[exc.index],
+                        tasks[chunk[exc.index]],
+                        exc.cause,
+                        "task raised inside its worker",
                     )
-                    retry_indices.append(index)
+                    retry_indices.extend(chunk)
                 # Charged to the retry budget, re-raised as a
                 # WorkerCrash when it runs out.
                 except Exception as exc:  # parmlint: ok[broad-except]
                     budget.charge(
-                        index,
-                        tasks[index],
+                        chunk[0],
+                        tasks[chunk[0]],
                         exc,
                         "task raised inside its worker",
                     )
-                    retry_indices.append(index)
+                    retry_indices.extend(chunk)
+                else:
+                    for index, value in zip(chunk, chunk_results):
+                        results_by_index[index] = value
         finally:
             # Cancel only *this call's* futures - the pool is shared
             # with concurrent callers and must keep draining their

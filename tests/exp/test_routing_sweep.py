@@ -10,6 +10,7 @@ from repro.exp.routing_sweep import (
     main,
     print_routing_sweep,
     routing_sweep,
+    run_batch,
     run_point,
     uniform_random_flows,
 )
@@ -110,3 +111,40 @@ class TestMapTasks:
     def test_lambda_ok_in_process(self):
         # workers=1 never pickles, so local callables are fine there.
         assert map_tasks(lambda x: x + 1, [1, 2], workers=1) == [2, 3]
+
+
+class TestRunBatch:
+    def points(self, policy="xy", n=4):
+        return [
+            SweepPoint(policy=policy, injection_rate_flits=rate, seed=seed,
+                       mesh_width=4, mesh_height=4, cycles=200)
+            for rate in (0.1, 0.3)
+            for seed in (1, 2)
+        ][:n]
+
+    def test_batch_matches_scalar_points(self):
+        points = self.points()
+        assert run_batch(points) == [run_point(p) for p in points]
+
+    def test_single_point_batch_matches_scalar(self):
+        points = self.points(n=1)
+        assert run_batch(points) == [run_point(points[0])]
+
+    def test_empty_batch(self):
+        assert run_batch([]) == []
+
+    def test_mixed_policy_batch_rejected(self):
+        bad = self.points("xy", 2) + self.points("odd-even", 2)
+        with pytest.raises(ConfigError, match="policy"):
+            run_batch(bad)
+
+    def test_mixed_geometry_batch_rejected(self):
+        a = self.points(n=1)[0]
+        b = SweepPoint(policy="xy", injection_rate_flits=0.3, seed=1,
+                       mesh_width=8, mesh_height=8, cycles=200)
+        with pytest.raises(ConfigError):
+            run_batch([a, b])
+
+    def test_adaptive_policy_batch_rejected(self):
+        with pytest.raises(ValueError, match="context-free"):
+            run_batch(self.points("panr", 2))

@@ -189,3 +189,55 @@ class TestCheckpointResume:
         first = self._run(cp)
         second = self._run(str(tmp_path / "cp2.json"))
         assert first.json_str() == second.json_str()
+
+
+class TestBatchedSampling:
+    """The batched lane path must be invisible in every result byte."""
+
+    def _estimand(self, policy="xy"):
+        from repro.exp.verify.estimands import PacketLatencyEstimand
+
+        return PacketLatencyEstimand(
+            policy=policy, mesh_width=4, mesh_height=4, cycles=300
+        )
+
+    def test_sample_batch_matches_scalar_samples(self):
+        estimand = self._estimand("xy")
+        seeds = [derive_seed(0, "verify/latency/replica", i)
+                 for i in range(5)]
+        assert estimand.sample_batch(seeds) == [
+            estimand.sample(seed) for seed in seeds
+        ]
+
+    def test_sample_batch_adaptive_fallback_matches_scalar(self):
+        estimand = self._estimand("panr")
+        seeds = [derive_seed(0, "verify/latency/replica", i)
+                 for i in range(2)]
+        assert estimand.sample_batch(seeds) == [
+            estimand.sample(seed) for seed in seeds
+        ]
+
+    def test_sample_batch_empty(self):
+        assert self._estimand().sample_batch([]) == []
+
+    def test_primed_run_is_byte_identical_to_scalar_run(self, monkeypatch):
+        from repro.exp.verify import sequential
+
+        estimand = self._estimand("xy")
+        rule = StopRule(half_width=1e-6, budget=24, batch_size=8,
+                        min_replicas=8)
+
+        primed = SequentialEstimator(
+            estimand, rule=rule, method="dkw", root_seed=3
+        ).run()
+        monkeypatch.setattr(
+            sequential.SequentialEstimator,
+            "_prime_batch",
+            lambda self, cells: None,
+        )
+        scalar = SequentialEstimator(
+            estimand, rule=rule, method="dkw", root_seed=3
+        ).run()
+        assert primed.values_mean == scalar.values_mean
+        assert primed.interval.to_json() == scalar.interval.to_json()
+        assert primed.n_replicas == scalar.n_replicas

@@ -57,6 +57,8 @@ class TestPinnedWorkloads:
             "noc_engine_legacy",
             "noc_engine_array",
             "noc_engine_array_adaptive",
+            "noc_engine_batch_loop",
+            "noc_engine_batched",
         }
         for entry in result.values():
             assert entry["seconds"] > 0
@@ -68,6 +70,10 @@ class TestPinnedWorkloads:
             result["noc_engine_array"]["seconds"]
             < result["noc_engine_legacy"]["seconds"]
         )
+        # bench_noc_engine verifies every batched lane against a fresh
+        # scalar engine before timing, so reaching here also certifies
+        # the lane-identity contract on the quick workload.
+        assert result["noc_engine_batched"]["meta"]["lanes"] == 8
 
     def test_lint_bench_smoke(self):
         result = bench.bench_lint(quick=True)

@@ -17,7 +17,7 @@ from repro.harness.supervisor import (
     CampaignSupervisor,
     SupervisorPolicy,
 )
-from repro.perf.parallel import map_tasks, run_cells
+from repro.perf.parallel import _auto_chunk_size, map_tasks, run_cells
 
 
 def toy_runner(c):
@@ -275,3 +275,64 @@ class TestParallelSupervisor:
         ).run(resume=True)
         assert all(o.completed for o in resumed.outcomes)
         assert read_bytes(crashed_cp) == read_bytes(serial_cp)
+
+
+def double(task):
+    """Module-level map task (picklable for spawn workers)."""
+    return task * 2
+
+
+class TestMapTasksChunking:
+    def test_chunk_size_must_be_positive(self):
+        with pytest.raises(ConfigError, match="chunk_size"):
+            map_tasks(double, [1, 2], workers=1, chunk_size=0)
+
+    def test_auto_heuristic_stays_unchunked_for_small_batches(self):
+        # Up to 4 tasks per worker: one descriptor per round trip.
+        assert _auto_chunk_size(1, 2) == 1
+        assert _auto_chunk_size(8, 2) == 1
+        # Beyond that: ceil(n / (4 * workers)) consecutive tasks each.
+        assert _auto_chunk_size(9, 2) == 2
+        assert _auto_chunk_size(100, 2) == 13
+        assert _auto_chunk_size(100, 4) == 7
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, 5, None])
+    def test_chunked_merge_is_byte_identical(self, chunk_size):
+        tasks = list(range(11))
+        expected = [t * 2 for t in tasks]
+        assert map_tasks(
+            double, tasks, workers=2, chunk_size=chunk_size
+        ) == expected
+
+    def test_chunked_failure_names_global_task_index(self):
+        # The crash sits mid-chunk; the raised context must carry the
+        # original (global) task index and error type, exactly as the
+        # unchunked path reports them.
+        with pytest.raises(WorkerCrash) as info:
+            map_tasks(
+                crash_on_three, [1, 2, 3, 4], workers=2, chunk_size=4
+            )
+        err = info.value
+        assert err.context["task_index"] == 2
+        assert err.context["task"] == "3"
+        assert err.context["error_type"] == "ValueError"
+
+    def test_chunked_taxonomy_errors_propagate_unwrapped(self):
+        with pytest.raises(SolverError, match="already classified"):
+            map_tasks(raise_taxonomy, [1, 2], workers=2, chunk_size=2)
+
+    def test_chunked_transient_failure_retried(self, tmp_path):
+        counter = str(tmp_path / "counter")
+        tasks = [(1, str(tmp_path / "c1"), 0), (2, counter, 2)]
+        assert map_tasks(
+            flaky_until, tasks, workers=2, retries=2, chunk_size=2
+        ) == [2, 4]
+
+    def test_chunked_sigkill_retried_and_merge_order_kept(self, tmp_path):
+        marker = str(tmp_path / "crashed-once")
+        tasks = [(1, ""), (2, marker), (3, ""), (4, "")]
+        result = map_tasks(
+            crash_once_marker, tasks, workers=2, retries=1, chunk_size=2
+        )
+        assert result == [2, 4, 6, 8]
+        assert os.path.exists(marker)
